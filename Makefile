@@ -1,0 +1,27 @@
+# Convenience targets for the TMN reproduction.
+
+.PHONY: install test bench bench-fast examples clean
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+bench-fast:
+	REPRO_BENCH_FAST=1 pytest benchmarks/ --benchmark-only
+
+examples:
+	python examples/quickstart.py
+	python examples/matching_visualization.py
+	python examples/knn_search.py
+	python examples/clustering.py
+	python examples/exact_search_pruning.py
+	python examples/robustness.py
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

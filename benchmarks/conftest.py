@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark harness.
+
+Each bench regenerates one paper table or figure at ``BENCH`` scale (see
+``repro.experiments.configs``).  Corpora and ground-truth matrices are
+session-scoped so the expensive exact-metric computation happens once.
+
+Set ``REPRO_BENCH_FAST=1`` to run everything at SMOKE scale (useful when
+iterating on the harness itself).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import BENCH, SMOKE, load_corpus
+
+
+def bench_scale():
+    return SMOKE if os.environ.get("REPRO_BENCH_FAST") else BENCH
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def porto(scale):
+    return load_corpus("porto", scale, seed=0)
+
+
+@pytest.fixture(scope="session")
+def geolife(scale):
+    return load_corpus("geolife", scale, seed=0)

@@ -1,0 +1,33 @@
+"""Extension ablation — recurrent backbone: LSTM (the paper's choice) vs
+GRU, TMN on Porto under DTW.
+
+DESIGN.md lists the recurrent cell as a design choice worth ablating (the
+paper motivates LSTM but Section II-B presents GRU as the alternative).
+Expected shape: both backbones learn (far above random); the gap between
+them is small compared to the matching-mechanism ablation (TMN vs TMN-NM),
+i.e. the *matching* carries the contribution, not the specific cell.
+"""
+
+from repro.experiments import run_model
+
+
+def run_ablation(porto, scale):
+    lstm = run_model("TMN", porto, "dtw", scale)
+    gru = run_model("TMN", porto, "dtw", scale, config_overrides={"backbone": "gru"})
+    no_match = run_model("TMN-NM", porto, "dtw", scale)
+    print(f"\nTMN (LSTM)  {lstm.scores}")
+    print(f"TMN (GRU)   {gru.scores}")
+    print(f"TMN-NM      {no_match.scores}")
+    return lstm, gru, no_match
+
+
+def test_backbone_ablation(benchmark, porto, scale):
+    lstm, gru, no_match = benchmark.pedantic(
+        run_ablation, args=(porto, scale), rounds=1, iterations=1
+    )
+    backbone_gap = abs(lstm.scores["HR-10"] - gru.scores["HR-10"])
+    assert all(0.0 <= v <= 1.0 for r in (lstm, gru, no_match) for v in r.scores.values())
+    # Both backbones must be far above random chance on HR-10.
+    random_hr = 10 / (len(porto.test_points) - 1)
+    assert lstm.scores["HR-10"] > 2 * random_hr
+    assert gru.scores["HR-10"] > 2 * random_hr

@@ -1,0 +1,21 @@
+"""Figure 1 — DTW point-match pairs (the paper's motivating illustration).
+
+Benchmarks the alignment computation and verifies the structural properties
+the figure depicts: a monotone warping path whose matched-pair costs sum to
+the DTW distance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.metrics import dtw, dtw_alignment
+
+
+def test_fig1_dtw_alignment(benchmark, porto):
+    a = porto.test_points[0]
+    b = porto.test_points[1]
+    path = benchmark(dtw_alignment, a, b)
+    assert path[0] == (0, 0)
+    assert path[-1] == (len(a) - 1, len(b) - 1)
+    cost = sum(np.linalg.norm(a[i] - b[j]) for i, j in path)
+    assert cost == pytest.approx(dtw(a, b))

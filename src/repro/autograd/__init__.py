@@ -1,0 +1,41 @@
+"""Numpy-backed reverse-mode automatic differentiation engine.
+
+This package substitutes for PyTorch in the TMN reproduction.  It provides:
+
+- :class:`Tensor` — an ndarray wrapper that records a computation tape;
+- composite operations (:func:`softmax`, :func:`concat`, ...);
+- finite-difference gradient checking (:mod:`repro.autograd.gradcheck`).
+"""
+
+from .gradcheck import check_gradients, numeric_gradient
+from .ops import (
+    clip,
+    concat,
+    dot_rows,
+    euclidean_distance,
+    masked_softmax,
+    maximum,
+    minimum,
+    softmax,
+    stack,
+    where,
+)
+from .tensor import Tensor, is_grad_enabled, no_grad
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "softmax",
+    "masked_softmax",
+    "concat",
+    "stack",
+    "where",
+    "maximum",
+    "minimum",
+    "clip",
+    "euclidean_distance",
+    "dot_rows",
+    "check_gradients",
+    "numeric_gradient",
+]

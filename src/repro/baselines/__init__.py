@@ -1,0 +1,9 @@
+"""Baseline models compared against TMN in the paper (Section V-A2)."""
+
+from .base import SiameseTrajectoryModel
+from .neutraj import NeuTraj
+from .srn import SRN
+from .t3s import T3S
+from .traj2simvec import Traj2SimVec
+
+__all__ = ["SiameseTrajectoryModel", "SRN", "NeuTraj", "T3S", "Traj2SimVec"]

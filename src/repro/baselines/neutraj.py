@@ -1,0 +1,168 @@
+"""NeuTraj (Yao et al., ICDE 2019) — grid-augmented LSTM with the SAM
+spatial attention memory.
+
+NeuTraj represents every point both by its coordinates and by the grid cell
+it falls in.  A spatial attention memory (SAM) stores, per grid cell, a
+summary of the hidden states produced whenever a processed trajectory
+visited that cell; at each step the model reads an attention-weighted
+summary of the current cell's neighbourhood and mixes it into the hidden
+state through a learned gate.  The memory lets representations share
+information across historically processed trajectories.
+
+Reproduction notes: the memory is a plain (non-differentiable) buffer — the
+read content is treated as a constant input, as a memory of *past* states
+must be — while the gate that mixes it in is trained by backprop.  Writes
+are exponential moving averages and occur only in training mode.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..autograd import Tensor, concat, where
+from ..core.config import TMNConfig
+from ..data.grid import GridMapper
+from ..nn import Linear, Parameter
+from ..nn import init as nn_init
+from .base import SiameseTrajectoryModel
+
+__all__ = ["NeuTraj"]
+
+
+class NeuTraj(SiameseTrajectoryModel):
+    """Grid-augmented siamese LSTM with spatial attention memory.
+
+    Parameters
+    ----------
+    config:
+        Shared model/training configuration.
+    n_cells:
+        Grid resolution per axis (the cell count is ``n_cells^2``).
+    memory_decay:
+        EMA coefficient for SAM writes (fraction of the old memory kept).
+    """
+
+    def __init__(
+        self,
+        config: Optional[TMNConfig] = None,
+        n_cells: int = 24,
+        memory_decay: float = 0.5,
+    ):
+        self._n_cells = n_cells
+        if config is not None and config.backbone != "lstm":
+            raise ValueError("NeuTraj's SAM integration is defined for the LSTM backbone")
+        super().__init__(config)
+        d = self.config.hidden_dim
+        d_hat = self.config.embed_dim
+        if not 0.0 <= memory_decay < 1.0:
+            raise ValueError("memory_decay must be in [0, 1)")
+        self.memory_decay = memory_decay
+        self.cell_embed = Parameter(
+            nn_init.xavier_uniform((n_cells * n_cells, d_hat), self._rng),
+            name="cell_embed",
+        )
+        # Gate deciding how much memory content enters the hidden state.
+        self.memory_gate = Linear(2 * d, d, rng=self._rng)
+        self.grid: Optional[GridMapper] = None
+        self._memory: Optional[np.ndarray] = None
+        self._memory_count: Optional[np.ndarray] = None
+        self._neighbor_table: Optional[np.ndarray] = None
+
+    def lstm_input_dim(self) -> int:
+        """Coordinate embedding concatenated with the grid-cell embedding."""
+        return 2 * self.config.embed_dim
+
+    # ------------------------------------------------------------------
+    def prepare(self, points_list: Sequence[np.ndarray]) -> None:
+        """Fit the grid over the training corpus and reset the memory."""
+        all_points = np.concatenate([np.asarray(p) for p in points_list], axis=0)
+        self.grid = GridMapper.fit(all_points, n_cells=self._n_cells)
+        d = self.config.hidden_dim
+        self._memory = np.zeros((self.grid.num_cells, d))
+        self._memory_count = np.zeros(self.grid.num_cells)
+        # Precompute each cell's neighbourhood (3x3, padded with self).
+        table = np.empty((self.grid.num_cells, 9), dtype=int)
+        for cell in range(self.grid.num_cells):
+            neigh = self.grid.neighbors(cell, radius=1)
+            padded = neigh + [cell] * (9 - len(neigh))
+            table[cell] = padded
+        self._neighbor_table = table
+
+    def _require_grid(self) -> GridMapper:
+        if self.grid is None:
+            raise RuntimeError(
+                "NeuTraj.prepare() must run before encoding; the Trainer "
+                "calls it automatically with the training trajectories"
+            )
+        return self.grid
+
+    # ------------------------------------------------------------------
+    def _memory_read(self, cell_ids: np.ndarray, query: Tensor) -> Tensor:
+        """SAM read: attention over the cell neighbourhood's memories.
+
+        The memory *content* is a constant buffer (it stores past hidden
+        states), but the attention weights are computed against the current
+        hidden state, so gradients flow through the read like in NeuTraj.
+        Cells never written are masked out; rows with no written
+        neighbours read zeros.
+        """
+        from ..autograd import masked_softmax
+
+        neighbors = self._neighbor_table[cell_ids]  # (B, 9)
+        vectors = self._memory[neighbors]  # (B, 9, d)
+        valid = self._memory_count[neighbors] > 0  # (B, 9)
+        content = Tensor(vectors)
+        scores = (query.expand_dims(1) @ content.swapaxes(1, 2)).squeeze(1)  # (B, 9)
+        weights = masked_softmax(scores, valid, axis=-1)
+        return (weights.expand_dims(1) @ content).squeeze(1)  # (B, d)
+
+    def _memory_write(self, cell_ids: np.ndarray, hidden: np.ndarray) -> None:
+        decay = self.memory_decay
+        for cell, vec in zip(cell_ids, hidden):
+            if self._memory_count[cell] > 0:
+                self._memory[cell] = decay * self._memory[cell] + (1 - decay) * vec
+            else:
+                self._memory[cell] = vec
+            self._memory_count[cell] += 1.0
+
+    # ------------------------------------------------------------------
+    def encode_side(self, points: np.ndarray, lengths: np.ndarray, mask: np.ndarray) -> Tensor:
+        """Grid-augmented LSTM encoding with SAM reads/writes per step."""
+        grid = self._require_grid()
+        batch, steps, _ = points.shape
+        cell_ids = grid.cell_ids(points.reshape(-1, 2)).reshape(batch, steps)
+
+        coord_emb = self.act(self.point_embed(Tensor(points)))
+        cell_emb = self.cell_embed[cell_ids.ravel()].reshape(batch, steps, -1)
+        features = concat([coord_emb, cell_emb], axis=-1)
+
+        d = self.config.hidden_dim
+        h = Tensor(np.zeros((batch, d)))
+        c = Tensor(np.zeros((batch, d)))
+        outputs: List[Tensor] = []
+        from ..autograd import stack
+
+        for t in range(steps):
+            x_t = features[:, t, :]
+            h_new, c_new = self.lstm.cell(x_t, (h, c))
+            read = self._memory_read(cell_ids[:, t], h_new)
+            gate = self.memory_gate(concat([h_new, read], axis=-1)).sigmoid()
+            h_aug = h_new + gate * read
+            m = mask[:, t : t + 1]
+            h = where(m, h_aug, h)
+            c = where(m, c_new, c)
+            if self.training:
+                valid = mask[:, t]
+                if np.any(valid):
+                    self._memory_write(cell_ids[valid, t], h.data[valid])
+            outputs.append(h)
+        return stack(outputs, axis=1)
+
+    @staticmethod
+    def recommended_config(**overrides) -> TMNConfig:
+        """NeuTraj samples near/far anchors but has no sub-trajectory loss."""
+        defaults = dict(sub_loss=False, sampler="rank")
+        defaults.update(overrides)
+        return TMNConfig(**defaults)

@@ -1,0 +1,27 @@
+"""SRN — Siamese Recurrent Network (Pei, Tax & van der Maaten, 2016).
+
+The simplest baseline: a shared LSTM over the raw coordinate embeddings of
+both trajectories; the final hidden states are compared with Euclidean
+distance.  Following the paper, SRN is implemented with an LSTM.
+"""
+
+from __future__ import annotations
+
+from ..core.config import TMNConfig
+from .base import SiameseTrajectoryModel
+
+__all__ = ["SRN"]
+
+
+class SRN(SiameseTrajectoryModel):
+    """Plain siamese LSTM; the base class already does everything needed."""
+
+    @staticmethod
+    def recommended_config(**overrides) -> TMNConfig:
+        """Training configuration used in the paper's comparison.
+
+        SRN has neither sub-trajectory loss nor special sampling.
+        """
+        defaults = dict(sub_loss=False, sampler="rank")
+        defaults.update(overrides)
+        return TMNConfig(**defaults)

@@ -1,0 +1,70 @@
+"""T3S (Yang et al., ICDE 2021) — self-attention plus LSTM.
+
+T3S argues an LSTM alone misses the structural importance of individual
+points and adds a Transformer-style self-attention network over the point
+embeddings of the *single* trajectory.  The structural (attention) and
+spatial (LSTM) representations are combined with a learned mixing weight.
+Crucially — and this is the gap TMN targets — the attention never looks at
+the other trajectory of the pair.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..autograd import Tensor
+from ..core.config import TMNConfig
+from ..nn import Linear, Parameter, SelfAttention
+from .base import SiameseTrajectoryModel
+
+__all__ = ["T3S"]
+
+
+class T3S(SiameseTrajectoryModel):
+    """Siamese encoder combining LSTM and intra-trajectory self-attention."""
+
+    def __init__(self, config: Optional[TMNConfig] = None, max_len: int = 512):
+        super().__init__(config)
+        d = self.config.hidden_dim
+        d_hat = self.config.embed_dim
+        self.attention = SelfAttention(d_hat, rng=self._rng)
+        self.attn_proj = Linear(d_hat, d, rng=self._rng)
+        # Sinusoidal positional encoding so self-attention sees point order.
+        self._pos_table = _sinusoidal_table(max_len, d_hat)
+        # Learned mixing logit gamma: output = s*LSTM + (1-s)*attention,
+        # s = sigmoid(gamma); initialised to an even blend.
+        self.gamma = Parameter(np.zeros(1), name="gamma")
+
+    def encode_side(self, points: np.ndarray, lengths: np.ndarray, mask: np.ndarray) -> Tensor:
+        """Blend LSTM (spatial) and self-attention (structural) representations."""
+        batch, steps, _ = points.shape
+        if steps > len(self._pos_table):
+            raise ValueError(
+                f"sequence length {steps} exceeds positional table "
+                f"({len(self._pos_table)}); raise max_len"
+            )
+        x = self.act(self.point_embed(Tensor(points)))
+        lstm_out, _ = self.lstm(x, mask=mask)
+        attn_in = x + Tensor(self._pos_table[None, :steps, :])
+        attn_out = self.attn_proj(self.attention(attn_in, mask=mask))
+        s = self.gamma.sigmoid()
+        return lstm_out * s + attn_out * (1.0 - s)
+
+    @staticmethod
+    def recommended_config(**overrides) -> TMNConfig:
+        """T3S uses near/far sampling without sub-trajectory supervision."""
+        defaults = dict(sub_loss=False, sampler="rank")
+        defaults.update(overrides)
+        return TMNConfig(**defaults)
+
+
+def _sinusoidal_table(max_len: int, dim: int) -> np.ndarray:
+    """Standard Transformer sinusoidal positional encodings."""
+    position = np.arange(max_len)[:, None]
+    div = np.exp(np.arange(0, dim, 2) * (-np.log(10000.0) / dim))
+    table = np.zeros((max_len, dim))
+    table[:, 0::2] = np.sin(position * div)
+    table[:, 1::2] = np.cos(position * div[: (dim + 1) // 2][: table[:, 1::2].shape[1]])
+    return table

@@ -1,0 +1,59 @@
+"""Traj2SimVec (Zhang et al., IJCAI 2020) — simplification, k-d tree
+sampling and sub-trajectory supervision.
+
+Traj2SimVec's contributions are around the *training procedure* rather than
+the encoder: trajectories are compressed evenly into fixed-length vectors
+stored in a k-d tree; near training samples always come from each anchor's
+k nearest tree neighbours (k = 5 in their paper); and a sub-trajectory loss
+adds supervision from prefix distances.  The encoder itself is an LSTM over
+coordinate embeddings, like SRN.
+
+In this framework those pieces map onto configuration: the model class is a
+siamese LSTM whose :meth:`recommended_config` turns on the k-d tree sampler
+and the sub-trajectory loss (both implemented in ``repro.core``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.config import TMNConfig
+from ..core.sampling import simplify_trajectory
+from ..index import KDTree
+from .base import SiameseTrajectoryModel
+
+__all__ = ["Traj2SimVec"]
+
+
+class Traj2SimVec(SiameseTrajectoryModel):
+    """Siamese LSTM trained with k-d tree sampling + sub-trajectory loss.
+
+    The simplified-vector k-d tree is also exposed on the model (built in
+    :meth:`prepare`) for inspection and for nearest-neighbour queries that
+    mirror the original system's sampling structure.
+    """
+
+    def __init__(self, config: Optional[TMNConfig] = None, n_segments: int = 10):
+        super().__init__(config)
+        if n_segments < 2:
+            raise ValueError("n_segments must be >= 2")
+        self.n_segments = n_segments
+        self.tree: Optional[KDTree] = None
+        self.simplified: Optional[np.ndarray] = None
+
+    def prepare(self, points_list: Sequence[np.ndarray]) -> None:
+        """Simplify the corpus and build the k-d tree over the vectors."""
+        self.simplified = np.stack(
+            [simplify_trajectory(np.asarray(p), n_segments=self.n_segments) for p in points_list]
+        )
+        self.tree = KDTree(self.simplified)
+
+    @staticmethod
+    def recommended_config(**overrides) -> TMNConfig:
+        """The paper's Traj2SimVec setup: k-d tree sampler (k = 5) and
+        sub-trajectory loss enabled."""
+        defaults = dict(sub_loss=True, sampler="kdtree", kd_neighbors=5)
+        defaults.update(overrides)
+        return TMNConfig(**defaults)

@@ -1,0 +1,182 @@
+"""Command-line interface for the TMN reproduction.
+
+Subcommands::
+
+    repro-tmn generate   --kind porto --n 200 --seed 0 --out corpus
+    repro-tmn train      --kind porto --metric dtw --model TMN --out ckpt
+    repro-tmn evaluate   --checkpoint ckpt --kind porto --metric dtw
+    repro-tmn experiment table2 --dataset porto --metric dtw [--fast]
+
+``experiment`` regenerates one paper table/figure block and prints the
+paper-style text table; ``--fast`` switches from BENCH to SMOKE scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from .core import Trainer, pair_distance_matrix
+from .data import make_dataset, prepare
+from .eval import evaluate_rankings
+from .experiments import (
+    BENCH,
+    MODEL_NAMES,
+    SMOKE,
+    build_model,
+    effectiveness_table,
+    efficiency_table,
+    format_effectiveness,
+    format_efficiency,
+    format_sweep,
+    load_corpus,
+    run_model,
+)
+from .io import load_model, save_dataset, save_model
+from .metrics import METRIC_NAMES
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse parser for the repro-tmn CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro-tmn",
+        description="Reproduction of TMN: Trajectory Matching Networks (ICDE 2022)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic corpus")
+    gen.add_argument("--kind", choices=("geolife", "porto"), default="porto")
+    gen.add_argument("--n", type=int, default=200)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--out", required=True, help="output path (.npz)")
+    gen.add_argument("--raw", action="store_true", help="skip preprocessing")
+
+    train = sub.add_parser("train", help="train a model on a synthetic corpus")
+    train.add_argument("--kind", choices=("geolife", "porto"), default="porto")
+    train.add_argument("--metric", choices=METRIC_NAMES, default="dtw")
+    train.add_argument("--model", choices=MODEL_NAMES, default="TMN")
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--epochs", type=int, default=None)
+    train.add_argument("--fast", action="store_true", help="SMOKE scale")
+    train.add_argument("--out", required=True, help="checkpoint path prefix")
+
+    ev = sub.add_parser("evaluate", help="evaluate a checkpoint on a fresh test split")
+    ev.add_argument("--checkpoint", required=True)
+    ev.add_argument("--kind", choices=("geolife", "porto"), default="porto")
+    ev.add_argument("--metric", choices=METRIC_NAMES, default="dtw")
+    ev.add_argument("--seed", type=int, default=0)
+    ev.add_argument("--fast", action="store_true")
+
+    exp = sub.add_parser("experiment", help="regenerate one paper table/figure")
+    exp.add_argument(
+        "which",
+        choices=("table2", "table3", "table4", "fig3", "fig4", "fig5"),
+    )
+    exp.add_argument("--dataset", choices=("geolife", "porto"), default="porto")
+    exp.add_argument("--metric", choices=METRIC_NAMES, default="dtw")
+    exp.add_argument("--seed", type=int, default=0)
+    exp.add_argument("--fast", action="store_true")
+    return parser
+
+
+def _scale(fast: bool):
+    return SMOKE if fast else BENCH
+
+
+def _cmd_generate(args) -> int:
+    ds = make_dataset(args.kind, args.n, seed=args.seed)
+    if not args.raw:
+        ds, _ = prepare(ds)
+    path = save_dataset(ds, args.out)
+    print(f"wrote {len(ds)} trajectories to {path}")
+    return 0
+
+
+def _cmd_train(args) -> int:
+    scale = _scale(args.fast)
+    corpus = load_corpus(args.kind, scale, seed=args.seed)
+    model, config = build_model(args.model, scale, seed=args.seed)
+    if args.epochs:
+        config = config.with_updates(epochs=args.epochs)
+        model = type(model)(config)
+    trainer = Trainer(model, config, metric=args.metric)
+    history = trainer.fit(corpus.train_points, verbose=True)
+    path = save_model(model, args.out)
+    print(f"final loss {history.final_loss:.5f}; checkpoint at {path}")
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    scale = _scale(args.fast)
+    corpus = load_corpus(args.kind, scale, seed=args.seed)
+    model = load_model(args.checkpoint)
+    model.prepare(corpus.train_points)  # rebuild corpus-level structures
+    pred = pair_distance_matrix(model, corpus.test_points)
+    scores = evaluate_rankings(
+        corpus.test_distances(args.metric), pred, hr_ks=(5, 10), recall=(5, 10)
+    )
+    for key, value in scores.items():
+        print(f"{key}: {value:.4f}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    scale = _scale(args.fast)
+    corpus = load_corpus(args.dataset, scale, seed=args.seed)
+    if args.which == "table2":
+        results = effectiveness_table(corpus, [args.metric], scale)
+        print(format_effectiveness(results, [args.metric]))
+    elif args.which == "table3":
+        rows = efficiency_table(corpus, scale)
+        print(format_efficiency(rows))
+    elif args.which == "table4":
+        for name in ("TMN", "TMN-kd"):
+            r = run_model(name, corpus, args.metric, scale)
+            print(f"{name:8s} {r.scores}")
+    elif args.which == "fig3":
+        for name in ("TMN", "TMN-qerror"):
+            r = run_model(name, corpus, args.metric, scale)
+            print(f"{name:12s} {r.scores}")
+    elif args.which == "fig4":
+        from .experiments import ascii_line_chart
+
+        dims = (8, 16, 32)
+        results = [
+            run_model("TMN", corpus, args.metric, scale, config_overrides={"hidden_dim": d}).scores
+            for d in dims
+        ]
+        print(format_sweep("hidden dimension sweep", dims, results))
+        print()
+        print(
+            ascii_line_chart(
+                "Figure 4a (ASCII): HR-k vs hidden dimension",
+                dims,
+                {key: [r[key] for r in results] for key in results[0]},
+            )
+        )
+    elif args.which == "fig5":
+        for name in ("TMN", "TMN-noSub"):
+            r = run_model(name, corpus, args.metric, scale)
+            print(f"{name:10s} {r.scores}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "train": _cmd_train,
+        "evaluate": _cmd_evaluate,
+        "experiment": _cmd_experiment,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""TMN core: model, matching mechanism, sampling, losses and trainer."""
+
+from .config import TMNConfig, alpha_for_metric
+from .loss import pair_loss, qerror_loss, weighted_mse_loss
+from .model import TMN, TrajectoryPairModel, pair_cross_distance_matrix, pair_distance_matrix
+from .sampling import (
+    KDTreeSampler,
+    PairSample,
+    RankSampler,
+    rank_weights,
+    simplify_trajectory,
+)
+from .similarity import distance_to_similarity, predicted_similarity, similarity_to_distance
+from .trainer import Trainer, TrainingHistory
+
+__all__ = [
+    "TMN",
+    "TrajectoryPairModel",
+    "pair_distance_matrix",
+    "pair_cross_distance_matrix",
+    "TMNConfig",
+    "alpha_for_metric",
+    "Trainer",
+    "TrainingHistory",
+    "RankSampler",
+    "KDTreeSampler",
+    "PairSample",
+    "rank_weights",
+    "simplify_trajectory",
+    "pair_loss",
+    "weighted_mse_loss",
+    "qerror_loss",
+    "distance_to_similarity",
+    "similarity_to_distance",
+    "predicted_similarity",
+]

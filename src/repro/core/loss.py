@@ -1,0 +1,76 @@
+"""Training objectives (Section IV-D).
+
+``L = L_entire + L_sub`` where ``L_entire`` (Eq. 14) is a rank-weighted MSE
+between predicted and ground-truth similarity of whole trajectories, and
+``L_sub`` (Eq. 15) repeats the comparison on prefix sub-trajectories.  The
+Q-error loss (Figure 3 comparison) is provided as an alternative.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor, clip, maximum
+
+__all__ = ["weighted_mse_loss", "qerror_loss", "pair_loss"]
+
+
+def weighted_mse_loss(pred_sim: Tensor, true_sim: np.ndarray, weights: np.ndarray) -> Tensor:
+    """Rank-weighted mean squared error (Eq. 14).
+
+    Parameters
+    ----------
+    pred_sim:
+        Predicted similarities, shape (B,), values in (0, 1].
+    true_sim:
+        Ground-truth similarities ``exp(-alpha * D)``, shape (B,).
+    weights:
+        Rank weights ``w_as`` per pair, shape (B,).
+    """
+    true_sim = np.asarray(true_sim, dtype=float)
+    weights = np.asarray(weights, dtype=float)
+    if pred_sim.shape != true_sim.shape or pred_sim.shape != weights.shape:
+        raise ValueError(
+            f"shape mismatch: pred {pred_sim.shape}, true {true_sim.shape}, "
+            f"weights {weights.shape}"
+        )
+    diff = pred_sim - Tensor(true_sim)
+    return (Tensor(weights) * diff * diff).mean()
+
+
+def qerror_loss(
+    pred_sim: Tensor,
+    true_sim: np.ndarray,
+    weights: np.ndarray,
+    floor: float = 1e-4,
+) -> Tensor:
+    """Weighted Q-error loss (Moerkotte et al.): ``max(p, t) / min(p, t)``.
+
+    Similarities are floored at ``floor`` to avoid the exploding ratios the
+    paper identifies as Q-error's failure mode ("if the smaller value is too
+    small, then the loss may be too large").
+    """
+    true_sim = np.asarray(true_sim, dtype=float)
+    weights = np.asarray(weights, dtype=float)
+    if pred_sim.shape != true_sim.shape or pred_sim.shape != weights.shape:
+        raise ValueError("pred/true/weights shapes must match")
+    pred = clip(pred_sim, floor, None)
+    true = Tensor(np.maximum(true_sim, floor))
+    ratio_a = pred / true
+    ratio_b = true / pred
+    q = maximum(ratio_a, ratio_b)
+    return (Tensor(weights) * q).mean()
+
+
+def pair_loss(
+    kind: str,
+    pred_sim: Tensor,
+    true_sim: np.ndarray,
+    weights: np.ndarray,
+) -> Tensor:
+    """Dispatch between the MSE (paper default) and Q-error objectives."""
+    if kind == "mse":
+        return weighted_mse_loss(pred_sim, true_sim, weights)
+    if kind == "qerror":
+        return qerror_loss(pred_sim, true_sim, weights)
+    raise KeyError(f"unknown loss kind {kind!r}")

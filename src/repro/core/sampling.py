@@ -1,0 +1,164 @@
+"""Training-pair sampling strategies (Section IV-C).
+
+Two strategies are implemented:
+
+- :class:`RankSampler` — the paper's method: draw 2k random candidates per
+  anchor, rank them by true distance, take the closest k as near samples and
+  the farthest k as far samples.  Rank-proportional weights
+  ``[2n/(n²+n), 2(n-1)/(n²+n), ..., 2/(n²+n)]`` emphasise the most similar
+  samples (Section IV-D).
+- :class:`KDTreeSampler` — Traj2SimVec's method: simplify every trajectory
+  to a fixed-length vector, index the vectors in a k-d tree, and always take
+  the anchor's k nearest tree neighbours as near samples.  Swapping this in
+  yields the TMN-kd ablation (Table IV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..index import KDTree
+
+__all__ = ["PairSample", "RankSampler", "KDTreeSampler", "rank_weights", "simplify_trajectory"]
+
+
+@dataclass(frozen=True)
+class PairSample:
+    """One training pair: anchor index, sample index, loss weight, near flag."""
+
+    anchor: int
+    sample: int
+    weight: float
+    is_near: bool
+
+
+def rank_weights(n: int) -> np.ndarray:
+    """The paper's rank-proportional weights for n ranked samples.
+
+    ``[2n, 2(n-1), ..., 2] / (n² + n)`` — sums to 1, biggest weight first.
+    """
+    if n < 1:
+        raise ValueError("need at least one sample to weight")
+    ranks = np.arange(n, 0, -1, dtype=float)
+    return 2.0 * ranks / (n * n + n)
+
+
+class RankSampler:
+    """The paper's 2k random-candidate ranking sampler.
+
+    Parameters
+    ----------
+    distances:
+        Ground-truth train-set distance matrix ``D`` under the target
+        metric (the sampler is metric-aware, unlike Traj2SimVec's).
+    sampling_number:
+        2k — total candidates per anchor (half become near, half far).
+    """
+
+    def __init__(self, distances: np.ndarray, sampling_number: int = 20):
+        distances = np.asarray(distances)
+        if distances.ndim != 2 or distances.shape[0] != distances.shape[1]:
+            raise ValueError("distances must be a square matrix")
+        if sampling_number % 2 != 0 or sampling_number < 2:
+            raise ValueError("sampling_number must be an even integer >= 2")
+        if sampling_number >= distances.shape[0]:
+            raise ValueError(
+                f"sampling_number {sampling_number} too large for "
+                f"{distances.shape[0]} training trajectories"
+            )
+        self.distances = distances
+        self.sampling_number = sampling_number
+
+    def sample(self, anchor: int, rng: np.random.Generator) -> List[PairSample]:
+        """Draw the paper's near/far pairs for one anchor."""
+        n_train = self.distances.shape[0]
+        candidates = rng.choice(
+            np.setdiff1d(np.arange(n_train), [anchor]),
+            size=self.sampling_number,
+            replace=False,
+        )
+        order = np.argsort(self.distances[anchor, candidates], kind="stable")
+        ranked = candidates[order]
+        half = self.sampling_number // 2
+        near, far = ranked[:half], ranked[half:]
+        w_near = rank_weights(half)
+        # Far samples are ranked by similarity too (closest far sample first).
+        w_far = rank_weights(half)
+        out = [
+            PairSample(anchor, int(s), float(w), True) for s, w in zip(near, w_near)
+        ]
+        out += [
+            PairSample(anchor, int(s), float(w), False) for s, w in zip(far, w_far)
+        ]
+        return out
+
+
+def simplify_trajectory(points: np.ndarray, n_segments: int = 10) -> np.ndarray:
+    """Compress a trajectory evenly into ``n_segments`` points, flattened.
+
+    Traj2SimVec's preprocessing: each trajectory becomes a fixed-length
+    vector so all of them fit in one k-d tree.
+    """
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise ValueError(f"expected (n, 2) points, got {points.shape}")
+    if n_segments < 2:
+        raise ValueError("n_segments must be >= 2")
+    # Evenly spaced sample positions (inclusive of both ends).
+    idx = np.linspace(0, len(points) - 1, n_segments)
+    lo = np.floor(idx).astype(int)
+    hi = np.ceil(idx).astype(int)
+    frac = (idx - lo)[:, None]
+    resampled = points[lo] * (1 - frac) + points[hi] * frac
+    return resampled.ravel()
+
+
+class KDTreeSampler:
+    """Traj2SimVec's k-d tree sampler (used by TMN-kd and Traj2SimVec).
+
+    Near samples are always the anchor's ``k_neighbors`` nearest neighbours
+    in simplified-vector space; far samples are uniform random among the
+    rest.  Metric-agnostic by construction — the paper argues this is its
+    weakness.
+    """
+
+    def __init__(
+        self,
+        trajectories: Sequence,
+        distances: np.ndarray,
+        k_neighbors: int = 5,
+        n_segments: int = 10,
+        n_far: Optional[int] = None,
+    ):
+        if k_neighbors < 1:
+            raise ValueError("k_neighbors must be >= 1")
+        points_list = [t.points if hasattr(t, "points") else np.asarray(t) for t in trajectories]
+        if len(points_list) <= k_neighbors:
+            raise ValueError("need more trajectories than k_neighbors")
+        self.vectors = np.stack(
+            [simplify_trajectory(p, n_segments=n_segments) for p in points_list]
+        )
+        self.tree = KDTree(self.vectors)
+        self.distances = np.asarray(distances)
+        self.k_neighbors = k_neighbors
+        self.n_far = n_far if n_far is not None else k_neighbors
+
+    def sample(self, anchor: int, rng: np.random.Generator) -> List[PairSample]:
+        """Draw this strategy's near/far pairs for one anchor index."""
+        _, idx = self.tree.query(self.vectors[anchor], k=self.k_neighbors + 1)
+        near = [int(i) for i in idx if i != anchor][: self.k_neighbors]
+        n_total = len(self.vectors)
+        exclude = set(near) | {anchor}
+        pool = np.array([i for i in range(n_total) if i not in exclude])
+        far = rng.choice(pool, size=min(self.n_far, len(pool)), replace=False)
+        # Order near samples by true distance so rank weights stay meaningful.
+        near = sorted(near, key=lambda s: self.distances[anchor, s])
+        w_near = rank_weights(len(near))
+        far = sorted(far.tolist(), key=lambda s: self.distances[anchor, s])
+        w_far = rank_weights(len(far))
+        out = [PairSample(anchor, s, float(w), True) for s, w in zip(near, w_near)]
+        out += [PairSample(anchor, int(s), float(w), False) for s, w in zip(far, w_far)]
+        return out

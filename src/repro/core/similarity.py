@@ -1,0 +1,50 @@
+"""Distance <-> similarity transformations (Section IV-D).
+
+The paper trains against the normalised similarity ``S = exp(-alpha * D)``
+(values in (0, 1]) rather than raw distances, and every model predicts a
+similarity through the Euclidean distance between embeddings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor
+
+__all__ = ["distance_to_similarity", "similarity_to_distance", "predicted_similarity"]
+
+
+def distance_to_similarity(distance, alpha: float):
+    """``S = exp(-alpha * D)`` on arrays or Tensors."""
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    if isinstance(distance, Tensor):
+        return (distance * (-alpha)).exp()
+    return np.exp(-alpha * np.asarray(distance))
+
+
+def similarity_to_distance(similarity, alpha: float):
+    """Inverse transform ``D = -log(S) / alpha``."""
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    sim = np.asarray(similarity, dtype=float)
+    if np.any(sim <= 0) or np.any(sim > 1):
+        raise ValueError("similarities must lie in (0, 1]")
+    return -np.log(sim) / alpha
+
+
+def predicted_similarity(emb_a, emb_b, eps: float = 1e-12):
+    """Model-side similarity ``exp(-||o_a - o_b||)``.
+
+    Monotone-decreasing in embedding distance, so top-k search by embedding
+    distance and by predicted similarity agree.  Works on Tensors (training)
+    and arrays (evaluation).
+    """
+    if isinstance(emb_a, Tensor) or isinstance(emb_b, Tensor):
+        emb_a = emb_a if isinstance(emb_a, Tensor) else Tensor(emb_a)
+        emb_b = emb_b if isinstance(emb_b, Tensor) else Tensor(emb_b)
+        diff = emb_a - emb_b
+        dist = ((diff * diff).sum(axis=-1) + eps).sqrt()
+        return (dist * -1.0).exp()
+    dist = np.sqrt(((np.asarray(emb_a) - np.asarray(emb_b)) ** 2).sum(axis=-1))
+    return np.exp(-dist)

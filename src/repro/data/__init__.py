@@ -1,0 +1,34 @@
+"""Trajectory data substrate: containers, synthetic corpora, preprocessing,
+grid mapping (for NeuTraj) and batching utilities."""
+
+from .augment import add_noise, crop, downsample
+from .batching import pad_batch, pair_batch
+from .grid import GridMapper
+from .loaders import load_geolife_directory, load_geolife_plt, load_porto_csv
+from .preprocess import NormStats, filter_center, filter_min_length, normalize, prepare
+from .synthetic import GEOLIFE_BBOX, PORTO_BBOX, make_dataset, make_geolife_like, make_porto_like
+from .trajectory import Trajectory, TrajectoryDataset
+
+__all__ = [
+    "Trajectory",
+    "TrajectoryDataset",
+    "make_geolife_like",
+    "make_porto_like",
+    "make_dataset",
+    "GEOLIFE_BBOX",
+    "PORTO_BBOX",
+    "prepare",
+    "normalize",
+    "filter_center",
+    "filter_min_length",
+    "NormStats",
+    "GridMapper",
+    "load_geolife_plt",
+    "load_geolife_directory",
+    "load_porto_csv",
+    "pad_batch",
+    "downsample",
+    "add_noise",
+    "crop",
+    "pair_batch",
+]

@@ -1,0 +1,65 @@
+"""Trajectory perturbations for robustness experiments.
+
+Real GPS pipelines vary in sampling rate and noise level; a useful learned
+similarity model should degrade gracefully when the test distribution
+shifts.  These perturbations support the robustness extension experiment
+(``examples/robustness.py``): downsampling, additive jitter and cropping.
+All operations are seeded and never mutate their input.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .trajectory import Trajectory
+
+__all__ = ["downsample", "add_noise", "crop"]
+
+
+def _points_of(traj) -> np.ndarray:
+    pts = traj.points if isinstance(traj, Trajectory) else np.asarray(traj, dtype=float)
+    if pts.ndim != 2 or pts.shape[1] != 2:
+        raise ValueError(f"expected (n, 2) trajectory, got {pts.shape}")
+    return pts
+
+
+def downsample(traj, keep_fraction: float, rng: np.random.Generator) -> np.ndarray:
+    """Randomly keep roughly ``keep_fraction`` of the points.
+
+    The first and last points are always kept (they anchor most metrics),
+    so the result has at least two points for inputs of length >= 2.
+    """
+    if not 0.0 < keep_fraction <= 1.0:
+        raise ValueError("keep_fraction must be in (0, 1]")
+    pts = _points_of(traj)
+    n = len(pts)
+    if n <= 2 or keep_fraction == 1.0:
+        return pts.copy()
+    keep = rng.random(n) < keep_fraction
+    keep[0] = keep[-1] = True
+    return pts[keep].copy()
+
+
+def add_noise(traj, sigma: float, rng: np.random.Generator) -> np.ndarray:
+    """Additive isotropic Gaussian jitter with standard deviation ``sigma``."""
+    if sigma < 0:
+        raise ValueError("sigma must be non-negative")
+    pts = _points_of(traj)
+    return pts + rng.normal(scale=sigma, size=pts.shape)
+
+
+def crop(traj, keep_fraction: float, rng: np.random.Generator) -> np.ndarray:
+    """Keep a random contiguous window covering ``keep_fraction`` of points.
+
+    Models a trip observed only partially (late start / early stop of the
+    recording device).
+    """
+    if not 0.0 < keep_fraction <= 1.0:
+        raise ValueError("keep_fraction must be in (0, 1]")
+    pts = _points_of(traj)
+    n = len(pts)
+    window = max(2, int(round(keep_fraction * n)))
+    if window >= n:
+        return pts.copy()
+    start = int(rng.integers(0, n - window + 1))
+    return pts[start : start + window].copy()

@@ -1,0 +1,66 @@
+"""Padding and batching helpers for model input.
+
+TMN pads the shorter trajectory of a pair with trailing zero points
+(Section IV-B); batched training pads every trajectory in the batch to the
+batch maximum and tracks validity masks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["pad_batch", "pair_batch"]
+
+
+def pad_batch(trajs: Sequence) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Pad trajectories to a common length with zero points.
+
+    Returns
+    -------
+    padded:
+        Float array (B, L, 2) where L is the longest input length.
+    lengths:
+        Int array (B,) of the true lengths.
+    mask:
+        Boolean (B, L); True marks real points.
+    """
+    points: List[np.ndarray] = []
+    for t in trajs:
+        p = t.points if hasattr(t, "points") else np.asarray(t, dtype=float)
+        if p.ndim != 2 or p.shape[1] != 2:
+            raise ValueError(f"expected (n, 2) trajectory, got {p.shape}")
+        points.append(p)
+    if not points:
+        raise ValueError("cannot pad an empty batch")
+    lengths = np.array([len(p) for p in points], dtype=int)
+    longest = int(lengths.max())
+    padded = np.zeros((len(points), longest, 2))
+    mask = np.zeros((len(points), longest), dtype=bool)
+    for i, p in enumerate(points):
+        padded[i, : len(p)] = p
+        mask[i, : len(p)] = True
+    return padded, lengths, mask
+
+
+def pair_batch(trajs_a: Sequence, trajs_b: Sequence):
+    """Pad two aligned trajectory lists to one common length.
+
+    TMN consumes pairs; both sides must share the time dimension so the
+    match pattern ``X_a X_b^T`` is well-formed.  Returns the two padded
+    stacks with their lengths and masks.
+    """
+    if len(trajs_a) != len(trajs_b):
+        raise ValueError("pair batch requires equally many left/right trajectories")
+    both = list(trajs_a) + list(trajs_b)
+    padded, lengths, mask = pad_batch(both)
+    b = len(trajs_a)
+    return (
+        padded[:b],
+        lengths[:b],
+        mask[:b],
+        padded[b:],
+        lengths[b:],
+        mask[b:],
+    )

@@ -1,0 +1,88 @@
+"""Grid-cell mapping used by the NeuTraj baseline.
+
+NeuTraj represents each trajectory point by the grid cell it falls in and
+its SAM module attends over a cell's spatial neighbourhood.  The mapper here
+converts coordinates to integer cell ids and enumerates neighbouring cells.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = ["GridMapper"]
+
+
+class GridMapper:
+    """Uniform grid over a bounding box.
+
+    Parameters
+    ----------
+    bbox:
+        (min_x, min_y, max_x, max_y); points outside are clamped to the
+        border cells.
+    n_cells:
+        Number of cells along each axis.
+    """
+
+    def __init__(self, bbox: Tuple[float, float, float, float], n_cells: int = 32):
+        x0, y0, x1, y1 = bbox
+        if x1 <= x0 or y1 <= y0:
+            raise ValueError(f"degenerate bbox {bbox}")
+        if n_cells < 1:
+            raise ValueError("n_cells must be >= 1")
+        self.bbox = bbox
+        self.n_cells = n_cells
+        self._dx = (x1 - x0) / n_cells
+        self._dy = (y1 - y0) / n_cells
+
+    @classmethod
+    def fit(cls, points: np.ndarray, n_cells: int = 32, pad: float = 1e-9) -> "GridMapper":
+        """Build a mapper covering a point cloud."""
+        points = np.asarray(points)
+        mins = points.min(axis=0) - pad
+        maxs = points.max(axis=0) + pad
+        return cls((mins[0], mins[1], maxs[0], maxs[1]), n_cells=n_cells)
+
+    @property
+    def num_cells(self) -> int:
+        """Total number of cells in the grid."""
+        return self.n_cells * self.n_cells
+
+    def cell_coords(self, points: np.ndarray) -> np.ndarray:
+        """Map (n, 2) points to integer (n, 2) grid coordinates."""
+        points = np.asarray(points)
+        x0, y0, _, _ = self.bbox
+        gx = np.floor((points[..., 0] - x0) / self._dx).astype(int)
+        gy = np.floor((points[..., 1] - y0) / self._dy).astype(int)
+        gx = np.clip(gx, 0, self.n_cells - 1)
+        gy = np.clip(gy, 0, self.n_cells - 1)
+        return np.stack([gx, gy], axis=-1)
+
+    def cell_ids(self, points: np.ndarray) -> np.ndarray:
+        """Flattened cell id per point: ``gx * n_cells + gy``."""
+        coords = self.cell_coords(points)
+        return coords[..., 0] * self.n_cells + coords[..., 1]
+
+    def cell_center(self, cell_id: int) -> np.ndarray:
+        """Coordinates of a cell's centre."""
+        if not 0 <= cell_id < self.num_cells:
+            raise ValueError(f"cell id {cell_id} out of range")
+        gx, gy = divmod(cell_id, self.n_cells)
+        x0, y0, _, _ = self.bbox
+        return np.array([x0 + (gx + 0.5) * self._dx, y0 + (gy + 0.5) * self._dy])
+
+    def neighbors(self, cell_id: int, radius: int = 1) -> List[int]:
+        """Cell ids in the (2r+1)^2 neighbourhood, clipped at the borders.
+
+        Includes the cell itself; this is the neighbourhood SAM reads.
+        """
+        gx, gy = divmod(cell_id, self.n_cells)
+        out = []
+        for dx in range(-radius, radius + 1):
+            for dy in range(-radius, radius + 1):
+                nx, ny = gx + dx, gy + dy
+                if 0 <= nx < self.n_cells and 0 <= ny < self.n_cells:
+                    out.append(nx * self.n_cells + ny)
+        return out

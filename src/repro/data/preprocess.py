@@ -1,0 +1,106 @@
+"""Preprocessing pipeline mirroring Section V-A of the paper.
+
+The paper filters out trajectories in sparse areas (keeping the city-centre
+region), removes trajectories with fewer than 10 records, and the learning
+models consume normalised coordinates.  The same steps are provided here as
+composable functions plus a one-call :func:`prepare` pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .trajectory import Trajectory, TrajectoryDataset
+
+__all__ = ["NormStats", "filter_min_length", "filter_center", "normalize", "prepare"]
+
+
+@dataclass(frozen=True)
+class NormStats:
+    """Mean/std used to normalise a corpus; kept so eps-style metric
+    parameters and embeddings can be mapped back to raw coordinates."""
+
+    mean: Tuple[float, float]
+    std: Tuple[float, float]
+
+    def transform(self, points: np.ndarray) -> np.ndarray:
+        """Apply the normalisation to raw points."""
+        return (points - np.asarray(self.mean)) / np.asarray(self.std)
+
+    def inverse(self, points: np.ndarray) -> np.ndarray:
+        """Map normalised points back to raw coordinates."""
+        return points * np.asarray(self.std) + np.asarray(self.mean)
+
+
+def filter_min_length(dataset: TrajectoryDataset, min_points: int = 10) -> TrajectoryDataset:
+    """Drop trajectories with fewer than ``min_points`` records (paper: 10)."""
+    kept = [t for t in dataset if len(t) >= min_points]
+    out = TrajectoryDataset(kept, name=dataset.name, meta=dict(dataset.meta))
+    out.meta["min_points"] = min_points
+    return out
+
+
+def filter_center(
+    dataset: TrajectoryDataset,
+    keep_fraction: float = 0.8,
+) -> TrajectoryDataset:
+    """Keep trajectories in the dense centre of the corpus.
+
+    The paper "filters out the trajectories that locate in the sparse area
+    and remains the ones in the center area of the city".  We keep every
+    trajectory whose centroid falls inside the central bounding box covering
+    ``keep_fraction`` of the coordinate range in each axis.
+    """
+    if not 0.0 < keep_fraction <= 1.0:
+        raise ValueError("keep_fraction must be in (0, 1]")
+    centroids = np.array([t.centroid() for t in dataset])
+    lo = np.quantile(centroids, (1 - keep_fraction) / 2, axis=0)
+    hi = np.quantile(centroids, 1 - (1 - keep_fraction) / 2, axis=0)
+    kept = [
+        t
+        for t, c in zip(dataset, centroids)
+        if np.all(c >= lo) and np.all(c <= hi)
+    ]
+    out = TrajectoryDataset(kept, name=dataset.name, meta=dict(dataset.meta))
+    out.meta["center_fraction"] = keep_fraction
+    return out
+
+
+def normalize(
+    dataset: TrajectoryDataset,
+    stats: Optional[NormStats] = None,
+) -> Tuple[TrajectoryDataset, NormStats]:
+    """Standardise coordinates to zero mean / unit variance per axis.
+
+    Passing precomputed ``stats`` applies a previous fit (e.g. normalising a
+    test split with the training statistics).
+    """
+    if stats is None:
+        all_points = np.concatenate([t.points for t in dataset], axis=0)
+        mean = all_points.mean(axis=0)
+        std = all_points.std(axis=0)
+        std = np.where(std < 1e-12, 1.0, std)
+        stats = NormStats(mean=(float(mean[0]), float(mean[1])), std=(float(std[0]), float(std[1])))
+    transformed = [
+        Trajectory(stats.transform(t.points), traj_id=t.traj_id, timestamps=t.timestamps)
+        for t in dataset
+    ]
+    out = TrajectoryDataset(transformed, name=dataset.name, meta=dict(dataset.meta))
+    out.meta["normalized"] = True
+    return out, stats
+
+
+def prepare(
+    dataset: TrajectoryDataset,
+    min_points: int = 10,
+    keep_fraction: float = 0.8,
+) -> Tuple[TrajectoryDataset, NormStats]:
+    """Full paper preprocessing: centre filter → length filter → normalise."""
+    dataset = filter_center(dataset, keep_fraction=keep_fraction)
+    dataset = filter_min_length(dataset, min_points=min_points)
+    if len(dataset) == 0:
+        raise ValueError("preprocessing removed every trajectory")
+    return normalize(dataset)

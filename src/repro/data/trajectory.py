@@ -1,0 +1,128 @@
+"""Trajectory and dataset containers (paper Definition 1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["Trajectory", "TrajectoryDataset"]
+
+
+@dataclass
+class Trajectory:
+    """A sequence of 2-D sample points ordered by time (Definition 1).
+
+    Attributes
+    ----------
+    points:
+        Array of shape (n, 2); columns are (lon, lat) or normalised x/y.
+    traj_id:
+        Stable identifier within its dataset.
+    timestamps:
+        Optional per-point epoch seconds; not used by the models (the paper
+        feeds coordinate tuples only) but kept for provenance.
+    """
+
+    points: np.ndarray
+    traj_id: int = -1
+    timestamps: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        self.points = np.asarray(self.points, dtype=np.float64)
+        if self.points.ndim != 2 or self.points.shape[1] != 2:
+            raise ValueError(f"points must be (n, 2), got {self.points.shape}")
+        if len(self.points) == 0:
+            raise ValueError("a trajectory needs at least one point")
+        if self.timestamps is not None:
+            self.timestamps = np.asarray(self.timestamps, dtype=np.float64)
+            if self.timestamps.shape != (len(self.points),):
+                raise ValueError("timestamps must align with points")
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        return iter(self.points)
+
+    def prefix(self, n: int) -> "Trajectory":
+        """Sub-trajectory of the first ``n`` points (the paper's ``T^(:i)``)."""
+        if not 1 <= n <= len(self):
+            raise ValueError(f"prefix length {n} out of range for length {len(self)}")
+        ts = self.timestamps[:n] if self.timestamps is not None else None
+        return Trajectory(self.points[:n].copy(), traj_id=self.traj_id, timestamps=ts)
+
+    def bbox(self) -> Tuple[float, float, float, float]:
+        """(min_x, min_y, max_x, max_y) bounding box."""
+        mins = self.points.min(axis=0)
+        maxs = self.points.max(axis=0)
+        return (float(mins[0]), float(mins[1]), float(maxs[0]), float(maxs[1]))
+
+    def centroid(self) -> np.ndarray:
+        """Mean point of the trajectory."""
+        return self.points.mean(axis=0)
+
+    def length_along(self) -> float:
+        """Total travelled path length (sum of consecutive point gaps)."""
+        if len(self) < 2:
+            return 0.0
+        return float(np.sqrt((np.diff(self.points, axis=0) ** 2).sum(axis=1)).sum())
+
+
+@dataclass
+class TrajectoryDataset:
+    """An ordered collection of trajectories with a name for provenance."""
+
+    trajectories: List[Trajectory]
+    name: str = "unnamed"
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for i, t in enumerate(self.trajectories):
+            if t.traj_id < 0:
+                t.traj_id = i
+
+    def __len__(self) -> int:
+        return len(self.trajectories)
+
+    def __getitem__(self, idx):
+        if isinstance(idx, (slice, list, np.ndarray)):
+            if isinstance(idx, slice):
+                subset = self.trajectories[idx]
+            else:
+                subset = [self.trajectories[i] for i in np.asarray(idx).tolist()]
+            return TrajectoryDataset(subset, name=self.name, meta=dict(self.meta))
+        return self.trajectories[idx]
+
+    def __iter__(self) -> Iterator[Trajectory]:
+        return iter(self.trajectories)
+
+    @property
+    def points_list(self) -> List[np.ndarray]:
+        """The raw (n, 2) point arrays of every trajectory."""
+        return [t.points for t in self.trajectories]
+
+    def lengths(self) -> np.ndarray:
+        """Number of points of every trajectory, as an int array."""
+        return np.array([len(t) for t in self.trajectories], dtype=int)
+
+    def split(self, train_ratio: float, rng: Optional[np.random.Generator] = None):
+        """Shuffled train/test split (paper: training ratio tr = 0.2).
+
+        Returns ``(train, test)`` datasets; with ``rng=None`` the order is
+        preserved and the first ``train_ratio`` fraction becomes training
+        data.
+        """
+        if not 0.0 < train_ratio < 1.0:
+            raise ValueError("train_ratio must be in (0, 1)")
+        order = np.arange(len(self))
+        if rng is not None:
+            order = rng.permutation(order)
+        cut = int(round(train_ratio * len(self)))
+        cut = max(1, min(len(self) - 1, cut))
+        train = self[order[:cut].tolist()]
+        test = self[order[cut:].tolist()]
+        train.name = f"{self.name}-train"
+        test.name = f"{self.name}-test"
+        return train, test

@@ -1,0 +1,27 @@
+"""Evaluation stack: top-k search, HR-k / Rk@t ranking metrics and the
+Table III efficiency timing harness."""
+
+from .analysis import ApproximationReport, approximation_report, spearman_per_query
+from .efficiency import (
+    EfficiencyReport,
+    time_encoding,
+    time_exact_metric,
+    time_vector_similarity,
+)
+from .ranking import evaluate_rankings, hitting_ratio, recall_k_at_t
+from .search import embedding_distance_matrix, topk_indices
+
+__all__ = [
+    "ApproximationReport",
+    "approximation_report",
+    "spearman_per_query",
+    "embedding_distance_matrix",
+    "topk_indices",
+    "hitting_ratio",
+    "recall_k_at_t",
+    "evaluate_rankings",
+    "EfficiencyReport",
+    "time_exact_metric",
+    "time_encoding",
+    "time_vector_similarity",
+]

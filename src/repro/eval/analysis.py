@@ -1,0 +1,107 @@
+"""Approximation-quality analysis beyond top-k rankings.
+
+HR-k and Rk@t (the paper's metrics) measure ranking quality; this module
+adds regression-style diagnostics — absolute/relative error of the
+predicted similarity and rank correlation — useful when debugging a model
+or comparing design variants more finely than hit ratios allow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+__all__ = ["ApproximationReport", "approximation_report", "spearman_per_query"]
+
+
+@dataclass(frozen=True)
+class ApproximationReport:
+    """Summary of how well predicted distances track the ground truth."""
+
+    mae: float  # mean absolute error of normalised similarities
+    mre: float  # mean relative error
+    spearman: float  # rank correlation over all off-diagonal pairs
+    mean_query_spearman: float  # averaged per-query rank correlation
+
+    def as_dict(self) -> Dict[str, float]:
+        """The report as a plain {name: value} dict."""
+        return {
+            "MAE": self.mae,
+            "MRE": self.mre,
+            "Spearman": self.spearman,
+            "QuerySpearman": self.mean_query_spearman,
+        }
+
+
+def _offdiag(matrix: np.ndarray) -> np.ndarray:
+    mask = ~np.eye(matrix.shape[0], dtype=bool)
+    return matrix[mask]
+
+
+def _normalise(values: np.ndarray) -> np.ndarray:
+    span = values.max() - values.min()
+    if span == 0:
+        return np.zeros_like(values)
+    return (values - values.min()) / span
+
+
+def approximation_report(gt_dist: np.ndarray, pred_dist: np.ndarray) -> ApproximationReport:
+    """Compare a predicted distance matrix against the exact one.
+
+    Both matrices are min-max normalised before MAE/MRE (embedding
+    distances live on an arbitrary scale; only the shape is comparable).
+    """
+    gt_dist = np.asarray(gt_dist, dtype=float)
+    pred_dist = np.asarray(pred_dist, dtype=float)
+    if gt_dist.shape != pred_dist.shape or gt_dist.ndim != 2:
+        raise ValueError("matrices must be two equal-shape square arrays")
+    if gt_dist.shape[0] != gt_dist.shape[1]:
+        raise ValueError("matrices must be square")
+    gt = _normalise(_offdiag(gt_dist))
+    pred = _normalise(_offdiag(pred_dist))
+    abs_err = np.abs(gt - pred)
+    mae = float(abs_err.mean())
+    denom = np.maximum(gt, 1e-6)
+    mre = float((abs_err / denom).mean())
+    if np.ptp(gt) == 0 or np.ptp(pred) == 0:
+        # Constant input: correlation undefined; a degenerate matrix is a
+        # perfect "prediction" of another constant one.
+        rho = 1.0 if np.ptp(gt) == np.ptp(pred) else 0.0
+    else:
+        rho = float(scipy_stats.spearmanr(gt, pred).statistic)
+    return ApproximationReport(
+        mae=mae,
+        mre=mre,
+        spearman=rho,
+        mean_query_spearman=spearman_per_query(gt_dist, pred_dist),
+    )
+
+
+def spearman_per_query(gt_dist: np.ndarray, pred_dist: np.ndarray) -> float:
+    """Average Spearman rank correlation of each query row (self excluded).
+
+    This is the quantity top-k search quality actually depends on: whether
+    each query orders the database correctly.
+    """
+    gt_dist = np.asarray(gt_dist, dtype=float)
+    pred_dist = np.asarray(pred_dist, dtype=float)
+    if gt_dist.shape != pred_dist.shape:
+        raise ValueError("matrices must align")
+    n = gt_dist.shape[0]
+    if n < 3:
+        raise ValueError("need at least 3 items for per-query correlation")
+    rhos = []
+    for row in range(n):
+        keep = np.arange(n) != row
+        gt_row = gt_dist[row, keep]
+        pred_row = pred_dist[row, keep]
+        if np.ptp(gt_row) == 0 or np.ptp(pred_row) == 0:
+            rhos.append(1.0 if np.ptp(gt_row) == np.ptp(pred_row) else 0.0)
+            continue
+        rho = scipy_stats.spearmanr(gt_row, pred_row).statistic
+        if np.isfinite(rho):
+            rhos.append(rho)
+    return float(np.mean(rhos)) if rhos else 0.0

@@ -1,0 +1,73 @@
+"""Evaluation metrics of Section V-A3: HR-k and Rk@t.
+
+- HR-k — top-k hitting ratio: overlap fraction between the learned top-k
+  and the ground-truth top-k.
+- Rk@t — top-t recall of the top-k ground truth: how much of the true
+  top-k appears in the predicted top-t (R10@50 in the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from .search import topk_indices
+
+__all__ = ["hitting_ratio", "recall_k_at_t", "evaluate_rankings"]
+
+
+def _overlap(pred_rows: np.ndarray, gt_rows: np.ndarray) -> float:
+    hits = 0
+    for pred, gt in zip(pred_rows, gt_rows):
+        hits += len(set(pred.tolist()) & set(gt.tolist()))
+    return hits / (gt_rows.shape[0] * gt_rows.shape[1])
+
+
+def hitting_ratio(
+    gt_dist: np.ndarray,
+    pred_dist: np.ndarray,
+    k: int,
+    exclude_self: bool = True,
+) -> float:
+    """HR-k: mean overlap of predicted and ground-truth top-k sets."""
+    gt_top = topk_indices(gt_dist, k, exclude_self=exclude_self)
+    pred_top = topk_indices(pred_dist, k, exclude_self=exclude_self)
+    return _overlap(pred_top, gt_top)
+
+
+def recall_k_at_t(
+    gt_dist: np.ndarray,
+    pred_dist: np.ndarray,
+    k: int,
+    t: int,
+    exclude_self: bool = True,
+) -> float:
+    """Rk@t: fraction of the true top-k found within the predicted top-t."""
+    if t < k:
+        raise ValueError("t must be >= k for a recall-style metric")
+    gt_top = topk_indices(gt_dist, k, exclude_self=exclude_self)
+    pred_top = topk_indices(pred_dist, t, exclude_self=exclude_self)
+    return _overlap(pred_top, gt_top)
+
+
+def evaluate_rankings(
+    gt_dist: np.ndarray,
+    pred_dist: np.ndarray,
+    hr_ks: Sequence[int] = (10, 50),
+    recall: Sequence[int] = (10, 50),
+    exclude_self: bool = True,
+) -> Dict[str, float]:
+    """The paper's evaluation bundle: HR-10, HR-50, R10@50.
+
+    Returns a dict keyed "HR-10", "HR-50", "R10@50" (adjusted to the
+    requested parameters).
+    """
+    if gt_dist.shape != pred_dist.shape:
+        raise ValueError("ground-truth and predicted matrices must align")
+    out: Dict[str, float] = {}
+    for k in hr_ks:
+        out[f"HR-{k}"] = hitting_ratio(gt_dist, pred_dist, k, exclude_self=exclude_self)
+    k, t = recall
+    out[f"R{k}@{t}"] = recall_k_at_t(gt_dist, pred_dist, k, t, exclude_self=exclude_self)
+    return out

@@ -1,0 +1,61 @@
+"""Top-k trajectory similarity search over embeddings (Section V-B).
+
+Following the paper (which reuses NeuTraj's implementation), search is the
+straightforward kind: compute all pairwise embedding distances, sort, take
+the top k.  The learned embedding makes this O(d) per pair instead of the
+quadratic exact metrics.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["embedding_distance_matrix", "topk_indices"]
+
+
+def embedding_distance_matrix(
+    embeddings: np.ndarray,
+    others: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Pairwise Euclidean distances between embedding rows.
+
+    With ``others=None`` computes the symmetric self-distance matrix used
+    for in-database top-k search.
+    """
+    a = np.asarray(embeddings, dtype=np.float64)
+    b = a if others is None else np.asarray(others, dtype=np.float64)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[1]:
+        raise ValueError(f"embedding shapes incompatible: {a.shape} vs {b.shape}")
+    sq_a = (a**2).sum(axis=1)
+    sq_b = (b**2).sum(axis=1)
+    d2 = sq_a[:, None] + sq_b[None, :] - 2.0 * a @ b.T
+    np.maximum(d2, 0.0, out=d2)
+    return np.sqrt(d2)
+
+
+def topk_indices(dist_matrix: np.ndarray, k: int, exclude_self: bool = True) -> np.ndarray:
+    """Per-row indices of the k smallest distances.
+
+    Parameters
+    ----------
+    dist_matrix:
+        (Q, N) distances; when ``exclude_self`` the diagonal is skipped
+        (queries come from the same collection as the database).
+    """
+    dist_matrix = np.asarray(dist_matrix, dtype=np.float64)
+    q, n = dist_matrix.shape
+    limit = n - 1 if exclude_self else n
+    if not 1 <= k <= limit:
+        raise ValueError(f"k={k} out of range for {n} candidates (exclude_self={exclude_self})")
+    work = dist_matrix
+    if exclude_self:
+        if q != n:
+            raise ValueError("exclude_self requires a square matrix")
+        work = dist_matrix.copy()
+        np.fill_diagonal(work, np.inf)
+    part = np.argpartition(work, kth=k - 1, axis=1)[:, :k]
+    vals = np.take_along_axis(work, part, axis=1)
+    order = np.argsort(vals, axis=1, kind="stable")
+    return np.take_along_axis(part, order, axis=1)

@@ -1,0 +1,38 @@
+"""Experiment harness regenerating every table and figure of the paper."""
+
+from .configs import BENCH, MODEL_NAMES, PAPER, SMOKE, Scale, build_model
+from .runner import (
+    Corpus,
+    RunResult,
+    effectiveness_table,
+    efficiency_table,
+    load_corpus,
+    run_model,
+)
+from .plots import ascii_bar_chart, ascii_line_chart
+from .summary import MetricSummary, ablation_gap, summarize, winner_table
+from .tables import format_effectiveness, format_efficiency, format_sweep
+
+__all__ = [
+    "Scale",
+    "SMOKE",
+    "BENCH",
+    "PAPER",
+    "MODEL_NAMES",
+    "build_model",
+    "Corpus",
+    "RunResult",
+    "load_corpus",
+    "run_model",
+    "effectiveness_table",
+    "efficiency_table",
+    "format_effectiveness",
+    "format_efficiency",
+    "format_sweep",
+    "ascii_line_chart",
+    "ascii_bar_chart",
+    "MetricSummary",
+    "summarize",
+    "winner_table",
+    "ablation_gap",
+]

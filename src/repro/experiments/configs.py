@@ -1,0 +1,92 @@
+"""Experiment scales and model factories.
+
+The paper trains on thousands of GPS trajectories for many epochs on a GPU;
+this CPU reproduction runs the identical pipelines at reduced scale.  A
+:class:`Scale` bundles every knob so each bench declares which preset it
+uses, and EXPERIMENTS.md can state the exact reduction applied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..baselines import SRN, NeuTraj, T3S, Traj2SimVec
+from ..core import TMN, TMNConfig, TrajectoryPairModel
+
+__all__ = ["Scale", "SMOKE", "BENCH", "PAPER", "MODEL_NAMES", "build_model"]
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Knobs of one experiment run.
+
+    ``n_raw`` trajectories are generated, preprocessed (which removes some),
+    then split ``train_size`` / ``test_size``.
+    """
+
+    name: str
+    n_raw: int
+    train_size: int
+    test_size: int
+    hidden_dim: int
+    epochs: int
+    sampling_number: int
+    batch_anchors: int = 8
+
+    def base_config(self, **overrides) -> Dict:
+        """Keyword arguments shared by every model's TMNConfig."""
+        params = dict(
+            hidden_dim=self.hidden_dim,
+            epochs=self.epochs,
+            sampling_number=self.sampling_number,
+            batch_anchors=self.batch_anchors,
+        )
+        params.update(overrides)
+        return params
+
+
+#: Minimal scale for integration tests: seconds per run.
+SMOKE = Scale("smoke", n_raw=130, train_size=25, test_size=30, hidden_dim=16, epochs=2, sampling_number=6)
+
+#: Benchmark scale: the full table/figure suite completes on CPU in minutes.
+BENCH = Scale("bench", n_raw=240, train_size=40, test_size=40, hidden_dim=32, epochs=16, sampling_number=10)
+
+#: The paper's published settings (documented; impractical without a GPU).
+PAPER = Scale("paper", n_raw=10_000, train_size=2_000, test_size=8_000, hidden_dim=128, epochs=50, sampling_number=20)
+
+#: Display order of the Table II rows.
+MODEL_NAMES: Tuple[str, ...] = ("SRN", "NeuTraj", "T3S", "Traj2SimVec", "TMN-NM", "TMN")
+
+
+def build_model(name: str, scale: Scale, seed: int = 0) -> Tuple[TrajectoryPairModel, TMNConfig]:
+    """Instantiate a named model with its paper-faithful training config."""
+    base = scale.base_config(seed=seed)
+    if name == "SRN":
+        config = SRN.recommended_config(**base)
+        return SRN(config), config
+    if name == "NeuTraj":
+        config = NeuTraj.recommended_config(**base)
+        return NeuTraj(config), config
+    if name == "T3S":
+        config = T3S.recommended_config(**base)
+        return T3S(config), config
+    if name == "Traj2SimVec":
+        config = Traj2SimVec.recommended_config(**base)
+        return Traj2SimVec(config), config
+    if name == "TMN":
+        config = TMNConfig(matching=True, sub_loss=True, **base)
+        return TMN(config), config
+    if name == "TMN-NM":
+        config = TMNConfig(matching=False, sub_loss=True, **base)
+        return TMN(config), config
+    if name == "TMN-kd":
+        config = TMNConfig(matching=True, sub_loss=True, sampler="kdtree", **base)
+        return TMN(config), config
+    if name == "TMN-noSub":
+        config = TMNConfig(matching=True, sub_loss=False, **base)
+        return TMN(config), config
+    if name == "TMN-qerror":
+        config = TMNConfig(matching=True, sub_loss=True, loss="qerror", **base)
+        return TMN(config), config
+    raise KeyError(f"unknown model {name!r}")

@@ -1,0 +1,82 @@
+"""Text-mode charts for the paper's figures.
+
+The evaluation figures (3, 4, 5) are line/bar charts; in a terminal-only
+environment the benches render them as ASCII so the regenerated artifact is
+visually comparable with the paper.  Deliberately dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+__all__ = ["ascii_line_chart", "ascii_bar_chart"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_line_chart(
+    title: str,
+    xs: Sequence,
+    series: Dict[str, Sequence[float]],
+    width: int = 60,
+    height: int = 12,
+) -> str:
+    """Render one or more numeric series over shared x positions.
+
+    Each series gets a distinct marker; y axis is annotated with min/max.
+    X positions are treated as ordinal (evenly spaced), matching how the
+    paper's sweep figures space their ticks.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    for name, values in series.items():
+        if len(values) != len(xs):
+            raise ValueError(f"series {name!r} length does not match xs")
+    if len(xs) < 2:
+        raise ValueError("need at least two x positions")
+
+    all_values = [v for values in series.values() for v in values]
+    lo, hi = min(all_values), max(all_values)
+    span = hi - lo if hi > lo else 1.0
+
+    grid = [[" " for _ in range(width)] for _ in range(height)]
+    for s_idx, (name, values) in enumerate(series.items()):
+        marker = _MARKERS[s_idx % len(_MARKERS)]
+        for i, value in enumerate(values):
+            col = round(i * (width - 1) / (len(xs) - 1))
+            row = height - 1 - round((value - lo) / span * (height - 1))
+            grid[row][col] = marker
+
+    lines = [title]
+    lines.append(f"{hi:8.4f} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 8 + " │" + "".join(row))
+    lines.append(f"{lo:8.4f} ┤" + "".join(grid[-1]))
+    x_labels = [str(x) for x in xs]
+    lines.append(" " * 10 + x_labels[0] + " ... " + x_labels[-1])
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} = {name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)
+
+
+def ascii_bar_chart(
+    title: str,
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+) -> str:
+    """Horizontal bar chart (used for the Figure 3 loss comparison)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if not labels:
+        raise ValueError("need at least one bar")
+    top = max(values)
+    scale = width / top if top > 0 else 0.0
+    label_width = max(len(str(label)) for label in labels)
+    lines = [title]
+    for label, value in zip(labels, values):
+        bar = "█" * max(1 if value > 0 else 0, round(value * scale))
+        lines.append(f"{str(label):<{label_width}} │{bar} {value:.4f}")
+    return "\n".join(lines)

@@ -1,0 +1,94 @@
+"""Post-processing of experiment results: winners, gaps and shape checks.
+
+EXPERIMENTS.md compares this reproduction against the paper in terms of
+*shapes* — who wins, by roughly what factor, which ablations matter.  The
+helpers here compute those statements from a list of
+:class:`~repro.experiments.runner.RunResult` so they can be asserted in
+benches and printed in reports rather than eyeballed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["MetricSummary", "summarize", "winner_table", "ablation_gap"]
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Who won one (metric, dataset) block and by how much."""
+
+    metric: str
+    dataset: str
+    score_key: str
+    winner: str
+    winner_score: float
+    runner_up: str
+    runner_up_score: float
+
+    @property
+    def margin(self) -> float:
+        """Absolute lead of the winner over the runner-up."""
+        return self.winner_score - self.runner_up_score
+
+
+def summarize(results: Sequence, score_key: str = "HR-10") -> List[MetricSummary]:
+    """One :class:`MetricSummary` per (metric, dataset) block in ``results``."""
+    blocks: Dict[Tuple[str, str], List] = {}
+    for r in results:
+        blocks.setdefault((r.metric, r.dataset), []).append(r)
+    out = []
+    for (metric, dataset), rows in sorted(blocks.items()):
+        if len(rows) < 2:
+            raise ValueError(f"block ({metric}, {dataset}) needs >= 2 models to rank")
+        ranked = sorted(rows, key=lambda r: r.scores[score_key], reverse=True)
+        out.append(
+            MetricSummary(
+                metric=metric,
+                dataset=dataset,
+                score_key=score_key,
+                winner=ranked[0].model_name,
+                winner_score=ranked[0].scores[score_key],
+                runner_up=ranked[1].model_name,
+                runner_up_score=ranked[1].scores[score_key],
+            )
+        )
+    return out
+
+
+def winner_table(results: Sequence, score_key: str = "HR-10") -> str:
+    """Plain-text 'winner per metric' table."""
+    lines = [f"{'metric':<12}{'dataset':<14}{'winner':<14}{score_key:>8}  margin"]
+    for s in summarize(results, score_key=score_key):
+        lines.append(
+            f"{s.metric:<12}{s.dataset:<14}{s.winner:<14}"
+            f"{s.winner_score:>8.4f}  +{s.margin:.4f} vs {s.runner_up}"
+        )
+    return "\n".join(lines)
+
+
+def ablation_gap(
+    results: Sequence,
+    full_model: str = "TMN",
+    ablated_model: str = "TMN-NM",
+    score_key: str = "HR-10",
+) -> Dict[str, float]:
+    """Per-metric score drop caused by an ablation (positive = full wins).
+
+    The paper's central claim is that this gap is positive for TMN vs
+    TMN-NM on every metric; benches assert exactly that.
+    """
+    full: Dict[str, float] = {}
+    ablated: Dict[str, float] = {}
+    for r in results:
+        if r.model_name == full_model:
+            full[r.metric] = r.scores[score_key]
+        elif r.model_name == ablated_model:
+            ablated[r.metric] = r.scores[score_key]
+    common = set(full) & set(ablated)
+    if not common:
+        raise ValueError(
+            f"results contain no shared metrics for {full_model!r} vs {ablated_model!r}"
+        )
+    return {metric: full[metric] - ablated[metric] for metric in sorted(common)}

@@ -1,0 +1,58 @@
+"""Plain-text rendering of experiment results in the paper's table shapes."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+__all__ = ["format_effectiveness", "format_efficiency", "format_sweep"]
+
+
+def format_effectiveness(results: Sequence, metrics: Sequence[str]) -> str:
+    """Render Table II style rows: model x metric with HR/recall columns."""
+    if not results:
+        return "(no results)"
+    score_keys = list(results[0].scores.keys())
+    by_metric: Dict[str, List] = {m: [] for m in metrics}
+    for r in results:
+        by_metric.setdefault(r.metric, []).append(r)
+    lines = []
+    header = f"{'Method':<14}" + "".join(f"{k:>10}" for k in score_keys)
+    for metric in metrics:
+        rows = by_metric.get(metric, [])
+        if not rows:
+            continue
+        lines.append(f"--- {metric.upper()} distance ({rows[0].dataset}) ---")
+        lines.append(header)
+        best = {k: max(r.scores[k] for r in rows) for k in score_keys}
+        for r in rows:
+            cells = "".join(
+                f"{r.scores[k]:>9.4f}{'*' if r.scores[k] == best[k] else ' '}"
+                for k in score_keys
+            )
+            lines.append(f"{r.model_name:<14}{cells}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def format_efficiency(rows: Sequence[dict]) -> str:
+    """Render Table III: training / inference / computation columns."""
+    lines = [f"{'Method':<14}{'Training(s)':>14}{'Inference(s)':>14}{'Computation(s)':>16}"]
+    for row in rows:
+        training = f"{row['training_s']:.3f}" if row["training_s"] is not None else "/"
+        inference = f"{row['inference_s']:.6f}" if row["inference_s"] is not None else "/"
+        lines.append(
+            f"{row['method']:<14}{training:>14}{inference:>14}"
+            f"{row['computation_s']:>16.6f}"
+        )
+    return "\n".join(lines)
+
+
+def format_sweep(title: str, xs: Sequence, results: Sequence[Dict[str, float]]) -> str:
+    """Render a Figure 4/5 style parameter sweep as a table."""
+    if len(xs) != len(results):
+        raise ValueError("xs and results must align")
+    keys = list(results[0].keys())
+    lines = [title, f"{'value':<12}" + "".join(f"{k:>10}" for k in keys)]
+    for x, scores in zip(xs, results):
+        lines.append(f"{str(x):<12}" + "".join(f"{scores[k]:>10.4f}" for k in keys))
+    return "\n".join(lines)

@@ -1,0 +1,8 @@
+"""Spatial indexing substrate: a from-scratch k-d tree (backs Traj2SimVec's
+sampling and the TMN-kd ablation) and a brute-force oracle."""
+
+from .brute import BruteForceIndex, knn_brute
+from .hnsw import HNSWIndex
+from .kdtree import KDTree
+
+__all__ = ["KDTree", "BruteForceIndex", "HNSWIndex", "knn_brute"]

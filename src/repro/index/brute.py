@@ -1,0 +1,51 @@
+"""Brute-force nearest neighbours — the oracle the k-d tree is tested against,
+and the top-k search backend for embedding vectors (Section V-B2: prior work
+computes all pairwise similarities and sorts)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["BruteForceIndex", "knn_brute"]
+
+
+def knn_brute(base: np.ndarray, queries: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Exact k-NN by full distance computation.
+
+    Returns ``(distances, indices)`` of shape (Q, k), sorted ascending.
+    """
+    base = np.asarray(base, dtype=np.float64)
+    queries = np.asarray(queries, dtype=np.float64)
+    if not 1 <= k <= len(base):
+        raise ValueError(f"k must be in [1, {len(base)}]")
+    # (Q, N) distance matrix via the expanded quadratic form.
+    sq_b = (base**2).sum(axis=1)
+    sq_q = (queries**2).sum(axis=1)
+    d2 = sq_q[:, None] + sq_b[None, :] - 2.0 * queries @ base.T
+    np.maximum(d2, 0.0, out=d2)
+    idx = np.argpartition(d2, kth=k - 1, axis=1)[:, :k]
+    part = np.take_along_axis(d2, idx, axis=1)
+    order = np.argsort(part, axis=1, kind="stable")
+    idx = np.take_along_axis(idx, order, axis=1)
+    dists = np.sqrt(np.take_along_axis(d2, idx, axis=1))
+    return dists, idx
+
+
+class BruteForceIndex:
+    """Minimal index-like wrapper over :func:`knn_brute`."""
+
+    def __init__(self, base: np.ndarray):
+        self.base = np.asarray(base, dtype=np.float64)
+        if self.base.ndim != 2 or len(self.base) == 0:
+            raise ValueError("base must be a non-empty (n, d) array")
+
+    def query(self, point: np.ndarray, k: int = 1) -> Tuple[np.ndarray, np.ndarray]:
+        """Exact k nearest neighbours of one point."""
+        dists, idx = knn_brute(self.base, np.asarray(point)[None, :], k)
+        return dists[0], idx[0]
+
+    def query_batch(self, points: np.ndarray, k: int = 1) -> Tuple[np.ndarray, np.ndarray]:
+        """Exact k nearest neighbours of many points."""
+        return knn_brute(self.base, points, k)

@@ -1,0 +1,166 @@
+"""HNSW — Hierarchical Navigable Small World graphs (Malkov et al.).
+
+The paper points out that once trajectories are embedded as vectors,
+"state-of-the-art indexing techniques (e.g., HNSW) can be immediately
+applied ... for nearest neighbor search".  This is a compact, dependency-
+free implementation of that index: multi-layer proximity graphs searched
+greedily from the top layer down, with beam (``ef``) search on the bottom
+layer.  Approximate by design; the test suite measures recall against the
+brute-force oracle.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+__all__ = ["HNSWIndex"]
+
+
+class HNSWIndex:
+    """Approximate k-NN index over vectors.
+
+    Parameters
+    ----------
+    dim:
+        Vector dimensionality.
+    m:
+        Maximum out-degree per node on the upper layers (bottom layer
+        allows ``2 * m``).
+    ef_construction:
+        Beam width while inserting; larger builds a better graph, slower.
+    seed:
+        Seed for the geometric level sampling.
+    """
+
+    def __init__(self, dim: int, m: int = 8, ef_construction: int = 64, seed: int = 0):
+        if dim < 1:
+            raise ValueError("dim must be >= 1")
+        if m < 2:
+            raise ValueError("m must be >= 2")
+        if ef_construction < 1:
+            raise ValueError("ef_construction must be >= 1")
+        self.dim = dim
+        self.m = m
+        self.ef_construction = ef_construction
+        self._rng = np.random.default_rng(seed)
+        self._level_mult = 1.0 / math.log(m)
+        self.vectors: List[np.ndarray] = []
+        # neighbors[layer][node] -> list of neighbor ids
+        self._neighbors: List[Dict[int, List[int]]] = []
+        self._entry: Optional[int] = None
+        self._max_level = -1
+
+    def __len__(self) -> int:
+        return len(self.vectors)
+
+    # ------------------------------------------------------------------
+    def _distance(self, a: np.ndarray, b: np.ndarray) -> float:
+        diff = a - b
+        return float(diff @ diff)  # squared L2: same ordering, cheaper
+
+    def _random_level(self) -> int:
+        return int(-math.log(max(self._rng.random(), 1e-12)) * self._level_mult)
+
+    def _search_layer(
+        self, query: np.ndarray, entry: int, ef: int, layer: int
+    ) -> List[Tuple[float, int]]:
+        """Beam search one layer; returns up to ``ef`` (dist, id) ascending."""
+        visited: Set[int] = {entry}
+        d0 = self._distance(query, self.vectors[entry])
+        candidates = [(d0, entry)]  # min-heap by distance
+        best = [(-d0, entry)]  # max-heap of current ef best
+        while candidates:
+            dist, node = heapq.heappop(candidates)
+            if dist > -best[0][0]:
+                break
+            for neighbor in self._neighbors[layer].get(node, ()):
+                if neighbor in visited:
+                    continue
+                visited.add(neighbor)
+                d = self._distance(query, self.vectors[neighbor])
+                if len(best) < ef or d < -best[0][0]:
+                    heapq.heappush(candidates, (d, neighbor))
+                    heapq.heappush(best, (-d, neighbor))
+                    if len(best) > ef:
+                        heapq.heappop(best)
+        return sorted((-d, i) for d, i in best)
+
+    def _select_neighbors(self, candidates: List[Tuple[float, int]], m: int) -> List[int]:
+        return [i for _, i in candidates[:m]]
+
+    # ------------------------------------------------------------------
+    def add(self, vector: np.ndarray) -> int:
+        """Insert one vector; returns its id."""
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.shape != (self.dim,):
+            raise ValueError(f"expected vector of dim {self.dim}, got {vector.shape}")
+        node = len(self.vectors)
+        self.vectors.append(vector)
+        level = self._random_level()
+        while len(self._neighbors) <= level:
+            self._neighbors.append({})
+        for l in range(level + 1):
+            self._neighbors[l].setdefault(node, [])
+
+        if self._entry is None:
+            self._entry = node
+            self._max_level = level
+            return node
+
+        entry = self._entry
+        # Greedy descent through layers above the new node's level.
+        for l in range(self._max_level, level, -1):
+            entry = self._search_layer(vector, entry, ef=1, layer=l)[0][1]
+        # Connect on each layer from min(level, max_level) down to 0.
+        for l in range(min(level, self._max_level), -1, -1):
+            candidates = self._search_layer(vector, entry, self.ef_construction, l)
+            max_degree = self.m * 2 if l == 0 else self.m
+            chosen = self._select_neighbors(candidates, max_degree)
+            self._neighbors[l][node] = list(chosen)
+            for other in chosen:
+                links = self._neighbors[l].setdefault(other, [])
+                links.append(node)
+                if len(links) > max_degree:
+                    # Prune the farthest link to keep degrees bounded.
+                    dists = [
+                        (self._distance(self.vectors[other], self.vectors[x]), x)
+                        for x in links
+                    ]
+                    dists.sort()
+                    self._neighbors[l][other] = [x for _, x in dists[:max_degree]]
+            entry = chosen[0] if chosen else entry
+
+        if level > self._max_level:
+            self._max_level = level
+            self._entry = node
+        return node
+
+    def add_batch(self, vectors: np.ndarray) -> List[int]:
+        """Insert many vectors; returns their ids."""
+        return [self.add(v) for v in np.asarray(vectors, dtype=np.float64)]
+
+    def query(self, vector: np.ndarray, k: int = 1, ef: Optional[int] = None) -> Tuple[np.ndarray, np.ndarray]:
+        """Approximate k nearest neighbours: ``(distances, ids)`` ascending.
+
+        ``ef`` (beam width, >= k) trades recall for speed; defaults to
+        ``max(ef_construction, k)``.
+        """
+        if self._entry is None:
+            raise RuntimeError("index is empty")
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.shape != (self.dim,):
+            raise ValueError(f"expected vector of dim {self.dim}, got {vector.shape}")
+        if not 1 <= k <= len(self.vectors):
+            raise ValueError(f"k must be in [1, {len(self.vectors)}]")
+        ef = max(ef if ef is not None else self.ef_construction, k)
+        entry = self._entry
+        for l in range(self._max_level, 0, -1):
+            entry = self._search_layer(vector, entry, ef=1, layer=l)[0][1]
+        found = self._search_layer(vector, entry, ef=ef, layer=0)[:k]
+        ids = np.array([i for _, i in found], dtype=int)
+        dists = np.sqrt(np.array([d for d, _ in found]))
+        return dists, ids

@@ -1,0 +1,119 @@
+"""A from-scratch k-d tree for k-nearest-neighbour queries.
+
+Traj2SimVec (one of the paper's baselines) simplifies every trajectory to a
+fixed-length vector, stores those vectors in a k-d tree, and draws its
+"near" training samples from each anchor's k nearest neighbours.  This tree
+backs that sampling strategy (and the TMN-kd ablation of Table IV).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["KDTree"]
+
+
+@dataclass
+class _Node:
+    axis: int
+    split: float
+    index: int  # index of the point stored at this node
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+
+
+class KDTree:
+    """Static k-d tree built once over a point matrix.
+
+    Parameters
+    ----------
+    points:
+        Array (n, d) of vectors to index.
+    leaf_size:
+        Subtrees at or below this size are stored as flat leaves and
+        scanned linearly — the classic performance trade-off.
+    """
+
+    def __init__(self, points: np.ndarray, leaf_size: int = 16):
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2:
+            raise ValueError(f"points must be (n, d), got {points.shape}")
+        if len(points) == 0:
+            raise ValueError("cannot index zero points")
+        if leaf_size < 1:
+            raise ValueError("leaf_size must be >= 1")
+        self.points = points
+        self.leaf_size = leaf_size
+        self._leaves: List[np.ndarray] = []
+        self._root = self._build(np.arange(len(points)), depth=0)
+
+    def _build(self, idx: np.ndarray, depth: int):
+        if len(idx) <= self.leaf_size:
+            self._leaves.append(idx)
+            return ("leaf", len(self._leaves) - 1)
+        axis = depth % self.points.shape[1]
+        values = self.points[idx, axis]
+        order = np.argsort(values, kind="stable")
+        idx = idx[order]
+        mid = len(idx) // 2
+        node = _Node(axis=axis, split=float(self.points[idx[mid], axis]), index=int(idx[mid]))
+        node.left = self._build(idx[:mid], depth + 1)
+        node.right = self._build(idx[mid + 1 :], depth + 1)
+        return node
+
+    def query(self, point: np.ndarray, k: int = 1) -> Tuple[np.ndarray, np.ndarray]:
+        """k nearest neighbours of ``point``.
+
+        Returns ``(distances, indices)`` sorted by increasing distance.
+        """
+        point = np.asarray(point, dtype=np.float64)
+        if point.shape != (self.points.shape[1],):
+            raise ValueError(
+                f"query point must have dim {self.points.shape[1]}, got {point.shape}"
+            )
+        if not 1 <= k <= len(self.points):
+            raise ValueError(f"k must be in [1, {len(self.points)}]")
+        # Max-heap of (-dist, index) holding the best k found so far.
+        heap: List[Tuple[float, int]] = []
+
+        def consider(indices: np.ndarray) -> None:
+            if len(indices) == 0:
+                return
+            dists = np.sqrt(((self.points[indices] - point) ** 2).sum(axis=1))
+            for d, i in zip(dists, indices):
+                if len(heap) < k:
+                    heapq.heappush(heap, (-d, int(i)))
+                elif d < -heap[0][0]:
+                    heapq.heapreplace(heap, (-d, int(i)))
+
+        def visit(node) -> None:
+            if isinstance(node, tuple):  # leaf
+                consider(self._leaves[node[1]])
+                return
+            consider(np.array([node.index]))
+            diff = point[node.axis] - node.split
+            near, far = (node.left, node.right) if diff < 0 else (node.right, node.left)
+            visit(near)
+            # Prune the far side unless the splitting plane is closer than
+            # the current k-th best distance.
+            if len(heap) < k or abs(diff) < -heap[0][0]:
+                visit(far)
+
+        visit(self._root)
+        best = sorted(((-d, i) for d, i in heap))
+        dists = np.array([d for d, _ in best])
+        idxs = np.array([i for _, i in best], dtype=int)
+        return dists, idxs
+
+    def query_batch(self, points: np.ndarray, k: int = 1) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorised convenience wrapper: query many points."""
+        points = np.asarray(points, dtype=np.float64)
+        dists = np.empty((len(points), k))
+        idxs = np.empty((len(points), k), dtype=int)
+        for row, p in enumerate(points):
+            dists[row], idxs[row] = self.query(p, k=k)
+        return dists, idxs

@@ -1,0 +1,115 @@
+"""Persistence for models, datasets and distance matrices.
+
+Checkpoints are plain ``.npz`` archives plus a JSON sidecar describing the
+model class and configuration, so a checkpoint can be reloaded without
+pickle (and inspected with nothing but numpy).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from .baselines import SRN, NeuTraj, T3S, Traj2SimVec
+from .core import TMN, TMNConfig
+from .data import Trajectory, TrajectoryDataset
+
+__all__ = ["save_model", "load_model", "save_dataset", "load_dataset"]
+
+_MODEL_CLASSES = {
+    "TMN": TMN,
+    "SRN": SRN,
+    "NeuTraj": NeuTraj,
+    "T3S": T3S,
+    "Traj2SimVec": Traj2SimVec,
+}
+
+
+def save_model(model, path: Union[str, Path]) -> Path:
+    """Write a model checkpoint: ``<path>.npz`` weights + ``<path>.json`` meta.
+
+    Returns the weights path.  Models are reconstructed by class name and
+    TMNConfig, so only the classes registered in this module round-trip.
+    """
+    path = Path(path)
+    cls_name = type(model).__name__
+    if cls_name not in _MODEL_CLASSES:
+        raise KeyError(f"unsupported model class {cls_name!r}")
+    weights_path = path.with_suffix(".npz")
+    meta_path = path.with_suffix(".json")
+    state = model.state_dict()
+    np.savez(weights_path, **state)
+    meta = {
+        "class": cls_name,
+        "config": dataclasses.asdict(model.config),
+        "format_version": 1,
+    }
+    meta_path.write_text(json.dumps(meta, indent=2))
+    return weights_path
+
+
+def load_model(path: Union[str, Path]):
+    """Reconstruct a model saved by :func:`save_model`.
+
+    NeuTraj checkpoints restore weights but not the grid memory — call
+    ``prepare`` (or refit) before encoding, as after any fresh construction.
+    """
+    path = Path(path)
+    meta = json.loads(path.with_suffix(".json").read_text())
+    cls = _MODEL_CLASSES.get(meta["class"])
+    if cls is None:
+        raise KeyError(f"unknown model class {meta['class']!r} in checkpoint")
+    config = TMNConfig(**meta["config"])
+    model = cls(config)
+    with np.load(path.with_suffix(".npz")) as archive:
+        model.load_state_dict({k: archive[k] for k in archive.files})
+    return model
+
+
+def save_dataset(dataset: TrajectoryDataset, path: Union[str, Path]) -> Path:
+    """Serialise a trajectory dataset to one ``.npz`` archive."""
+    path = Path(path).with_suffix(".npz")
+    arrays = {}
+    has_ts = []
+    for i, t in enumerate(dataset):
+        arrays[f"points_{i}"] = t.points
+        if t.timestamps is not None:
+            arrays[f"ts_{i}"] = t.timestamps
+            has_ts.append(i)
+    arrays["_ids"] = np.array([t.traj_id for t in dataset])
+    arrays["_has_ts"] = np.array(has_ts, dtype=int)
+    np.savez(path, **arrays)
+    meta = {"name": dataset.name, "meta": _json_safe(dataset.meta), "n": len(dataset)}
+    path.with_suffix(".json").write_text(json.dumps(meta, indent=2))
+    return path
+
+
+def load_dataset(path: Union[str, Path]) -> TrajectoryDataset:
+    """Inverse of :func:`save_dataset`."""
+    path = Path(path).with_suffix(".npz")
+    meta = json.loads(path.with_suffix(".json").read_text())
+    with np.load(path) as archive:
+        ids = archive["_ids"]
+        with_ts = set(archive["_has_ts"].tolist())
+        trajs = []
+        for i in range(meta["n"]):
+            ts = archive[f"ts_{i}"] if i in with_ts else None
+            trajs.append(
+                Trajectory(archive[f"points_{i}"], traj_id=int(ids[i]), timestamps=ts)
+            )
+    return TrajectoryDataset(trajs, name=meta["name"], meta=meta["meta"])
+
+
+def _json_safe(obj):
+    """Coerce numpy scalars/containers in dataset meta into JSON types."""
+    if isinstance(obj, dict):
+        return {k: _json_safe(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_json_safe(v) for v in obj]
+    if isinstance(obj, np.generic):
+        return obj.item()
+    return obj

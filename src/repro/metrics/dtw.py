@@ -1,0 +1,69 @@
+"""Dynamic Time Warping, including the alignment used in Figure 1.
+
+DTW matches every point of one trajectory to one or more points of the
+other while preserving order, and sums the matched point distances.  The
+paper's motivating example (Figure 1) shows these match pairs; the
+:func:`dtw_alignment` backtracking here regenerates them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ._dp import dtw_batch
+from .point import as_points, cross_dist
+
+__all__ = ["dtw", "dtw_matrix", "dtw_alignment"]
+
+
+def dtw(a, b) -> float:
+    """Exact DTW distance between two trajectories."""
+    a = as_points(a)
+    b = as_points(b)
+    cost = cross_dist(a, b)[None, :, :]
+    return float(dtw_batch(cost, np.array([len(a)]), np.array([len(b)]))[0])
+
+
+def dtw_matrix(a, b) -> np.ndarray:
+    """Full (m+1) x (n+1) DTW dynamic-programming table.
+
+    Row/column 0 are the infinity borders; ``result[m, n]`` is the distance.
+    Exposed for tests and for alignment backtracking.
+    """
+    a = as_points(a)
+    b = as_points(b)
+    m, n = len(a), len(b)
+    cost = cross_dist(a, b)
+    table = np.full((m + 1, n + 1), np.inf)
+    table[0, 0] = 0.0
+    for i in range(1, m + 1):
+        for j in range(1, n + 1):
+            best = min(table[i - 1, j], table[i, j - 1], table[i - 1, j - 1])
+            table[i, j] = cost[i - 1, j - 1] + best
+    return table
+
+
+def dtw_alignment(a, b) -> List[Tuple[int, int]]:
+    """Optimal DTW point-match pairs (the red lines of Figure 1).
+
+    Returns index pairs (i, j), ordered from the start of the trajectories,
+    such that point i of ``a`` is matched to point j of ``b`` on the optimal
+    warping path.
+    """
+    a = as_points(a)
+    b = as_points(b)
+    table = dtw_matrix(a, b)
+    i, j = len(a), len(b)
+    path: List[Tuple[int, int]] = []
+    while i > 0 and j > 0:
+        path.append((i - 1, j - 1))
+        moves = (
+            (table[i - 1, j - 1], i - 1, j - 1),
+            (table[i - 1, j], i - 1, j),
+            (table[i, j - 1], i, j - 1),
+        )
+        _, i, j = min(moves, key=lambda t: t[0])
+    path.reverse()
+    return path

@@ -1,0 +1,22 @@
+"""Discrete Fréchet distance (Eiter & Mannila coupling distance)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ._dp import frechet_batch
+from .point import as_points, cross_dist
+
+__all__ = ["frechet"]
+
+
+def frechet(a, b) -> float:
+    """Discrete Fréchet distance between two trajectories.
+
+    The minimal, over all order-preserving couplings, of the maximal matched
+    point distance — the "dog-leash" distance restricted to vertices.
+    """
+    a = as_points(a)
+    b = as_points(b)
+    cost = cross_dist(a, b)[None, :, :]
+    return float(frechet_batch(cost, np.array([len(a)]), np.array([len(b)]))[0])

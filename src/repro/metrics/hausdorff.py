@@ -1,0 +1,21 @@
+"""Hausdorff distance between trajectories viewed as point sets."""
+
+from __future__ import annotations
+
+from .point import as_points, cross_dist
+
+__all__ = ["hausdorff"]
+
+
+def hausdorff(a, b) -> float:
+    """Symmetric Hausdorff distance.
+
+    max( max_i min_j d(a_i, b_j), max_j min_i d(a_i, b_j) ) — order of points
+    is ignored, unlike DTW/Fréchet.
+    """
+    a = as_points(a)
+    b = as_points(b)
+    dists = cross_dist(a, b)
+    forward = dists.min(axis=1).max()
+    backward = dists.min(axis=0).max()
+    return float(max(forward, backward))

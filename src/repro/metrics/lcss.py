@@ -1,0 +1,35 @@
+"""Longest Common Subsequence distance (Vlachos et al., ICDE 2002) — Eq. 3."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ._dp import lcss_batch
+from .point import as_points, cross_dist
+
+__all__ = ["lcss", "lcss_length", "DEFAULT_EPS"]
+
+#: Matching tolerance on normalised coordinates (see ``edr.DEFAULT_EPS``).
+DEFAULT_EPS = 0.25
+
+
+def lcss_length(a, b, eps: float = DEFAULT_EPS) -> int:
+    """Length of the longest common subsequence under tolerance ``eps``."""
+    if eps <= 0:
+        raise ValueError("LCSS eps must be positive")
+    a = as_points(a)
+    b = as_points(b)
+    match = (cross_dist(a, b) <= eps)[None, :, :]
+    return int(lcss_batch(match, np.array([len(a)]), np.array([len(b)]))[0])
+
+
+def lcss(a, b, eps: float = DEFAULT_EPS) -> float:
+    """LCSS distance: ``1 - LCSS(a, b) / min(|a|, |b|)`` in [0, 1].
+
+    The similarity count is normalised by the shorter length, the standard
+    conversion used when LCSS serves as a distance.
+    """
+    a = as_points(a)
+    b = as_points(b)
+    count = lcss_length(a, b, eps=eps)
+    return 1.0 - count / min(len(a), len(b))

@@ -1,0 +1,38 @@
+"""Point-level distance kernels shared by all trajectory metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["as_points", "cross_dist", "dist_to_point"]
+
+
+def as_points(traj) -> np.ndarray:
+    """Coerce a trajectory-like object into an (n, 2) float array.
+
+    Accepts raw arrays, lists of (lon, lat) pairs, or objects exposing a
+    ``points`` attribute (``repro.data.Trajectory``).
+    """
+    if hasattr(traj, "points"):
+        traj = traj.points
+    arr = np.asarray(traj, dtype=np.float64)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValueError(f"trajectory must have shape (n, 2), got {arr.shape}")
+    if arr.shape[0] == 0:
+        raise ValueError("trajectory must contain at least one point")
+    return arr
+
+
+def cross_dist(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Euclidean distance matrix between the points of two trajectories.
+
+    ``a`` is (m, 2), ``b`` is (n, 2); result is (m, n).
+    """
+    diff = a[:, None, :] - b[None, :, :]
+    return np.sqrt((diff**2).sum(axis=-1))
+
+
+def dist_to_point(a: np.ndarray, g) -> np.ndarray:
+    """Distance of every point of ``a`` to a fixed reference point ``g``."""
+    g = np.asarray(g, dtype=np.float64)
+    return np.sqrt(((a - g) ** 2).sum(axis=-1))

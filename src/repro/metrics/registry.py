@@ -1,0 +1,151 @@
+"""Metric registry: one uniform handle per distance metric.
+
+The learning models are metric-agnostic (the paper's key "generic" claim);
+experiments select a metric by name.  A :class:`MetricSpec` bundles the
+scalar two-trajectory function with a batched implementation used to build
+ground-truth distance matrices quickly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from . import _dp
+from .dtw import dtw
+from .edr import DEFAULT_EPS as EDR_EPS
+from .edr import edr
+from .erp import DEFAULT_GAP, erp
+from .frechet import frechet
+from .hausdorff import hausdorff
+from .lcss import DEFAULT_EPS as LCSS_EPS
+from .lcss import lcss
+
+__all__ = ["MetricSpec", "get_metric", "METRIC_NAMES"]
+
+#: The six distance metrics evaluated in the paper.
+METRIC_NAMES: Tuple[str, ...] = ("dtw", "frechet", "hausdorff", "erp", "edr", "lcss")
+
+
+def _batch_cost(points_a: np.ndarray, points_b: np.ndarray) -> np.ndarray:
+    """Cross point-distance tensor for stacked pairs: (P, L, 2) x2 -> (P, L, L)."""
+    diff = points_a[:, :, None, :] - points_b[:, None, :, :]
+    return np.sqrt((diff**2).sum(axis=-1))
+
+
+def _hausdorff_batch(points_a, points_b, len_a, len_b) -> np.ndarray:
+    dists = _batch_cost(points_a, points_b)
+    pairs, la_max, lb_max = dists.shape
+    col_idx = np.arange(lb_max)
+    row_idx = np.arange(la_max)
+    invalid_b = col_idx[None, None, :] >= np.asarray(len_b)[:, None, None]
+    invalid_a = row_idx[None, :, None] >= np.asarray(len_a)[:, None, None]
+    masked_min = np.where(invalid_b, np.inf, dists)
+    forward = np.where(invalid_a[:, :, 0], -np.inf, masked_min.min(axis=2)).max(axis=1)
+    masked_min2 = np.where(invalid_a, np.inf, dists)
+    backward = np.where(invalid_b[:, 0, :], -np.inf, masked_min2.min(axis=1)).max(axis=1)
+    return np.maximum(forward, backward)
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """A named trajectory distance metric with scalar and batched forms.
+
+    Attributes
+    ----------
+    name:
+        Registry key ("dtw", "frechet", "hausdorff", "erp", "edr", "lcss").
+    scalar:
+        ``f(a, b) -> float`` on raw (n, 2) arrays.
+    batch:
+        ``f(points_a, points_b, len_a, len_b) -> (P,)`` on padded stacks.
+    params:
+        The resolved metric parameters (eps / gap) for provenance.
+    """
+
+    name: str
+    scalar: Callable[[np.ndarray, np.ndarray], float]
+    batch: Callable[[np.ndarray, np.ndarray, np.ndarray, np.ndarray], np.ndarray]
+    params: Dict[str, object] = field(default_factory=dict)
+
+    def __call__(self, a, b) -> float:
+        return self.scalar(a, b)
+
+
+def get_metric(
+    name: str,
+    eps: Optional[float] = None,
+    gap: Optional[Tuple[float, float]] = None,
+) -> MetricSpec:
+    """Look up a metric by name, resolving its parameters.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`METRIC_NAMES` (case-insensitive).
+    eps:
+        Matching tolerance for EDR/LCSS (ignored by the others).
+    gap:
+        Gap reference point for ERP (ignored by the others).
+    """
+    key = name.lower()
+    if key == "dtw":
+
+        def batch(pa, pb, la, lb):
+            return _dp.dtw_batch(_batch_cost(pa, pb), la, lb)
+
+        return MetricSpec("dtw", dtw, batch)
+
+    if key == "frechet":
+
+        def batch(pa, pb, la, lb):
+            return _dp.frechet_batch(_batch_cost(pa, pb), la, lb)
+
+        return MetricSpec("frechet", frechet, batch)
+
+    if key == "hausdorff":
+        return MetricSpec("hausdorff", hausdorff, _hausdorff_batch)
+
+    if key == "erp":
+        gap_point = np.asarray(gap if gap is not None else DEFAULT_GAP, dtype=float)
+
+        def scalar(a, b):
+            return erp(a, b, gap=gap_point)
+
+        def batch(pa, pb, la, lb):
+            cost = _batch_cost(pa, pb)
+            gap_a = np.sqrt(((pa - gap_point) ** 2).sum(axis=-1))
+            gap_b = np.sqrt(((pb - gap_point) ** 2).sum(axis=-1))
+            return _dp.erp_batch(cost, gap_a, gap_b, la, lb)
+
+        return MetricSpec("erp", scalar, batch, params={"gap": tuple(gap_point)})
+
+    if key == "edr":
+        tol = eps if eps is not None else EDR_EPS
+
+        def scalar(a, b):
+            return edr(a, b, eps=tol)
+
+        def batch(pa, pb, la, lb):
+            match = _batch_cost(pa, pb) <= tol
+            return _dp.edr_batch(match, la, lb)
+
+        return MetricSpec("edr", scalar, batch, params={"eps": tol})
+
+    if key == "lcss":
+        tol = eps if eps is not None else LCSS_EPS
+
+        def scalar(a, b):
+            return lcss(a, b, eps=tol)
+
+        def batch(pa, pb, la, lb):
+            match = _batch_cost(pa, pb) <= tol
+            counts = _dp.lcss_batch(match, la, lb)
+            shorter = np.minimum(np.asarray(la), np.asarray(lb))
+            return 1.0 - counts / shorter
+
+        return MetricSpec("lcss", scalar, batch, params={"eps": tol})
+
+    raise KeyError(f"unknown metric {name!r}; choose from {METRIC_NAMES}")

@@ -1,0 +1,34 @@
+"""Neural network building blocks on top of :mod:`repro.autograd`.
+
+Provides the Module/Parameter system, linear layers, activations, a batched
+mask-aware LSTM and the attention primitives (cross-trajectory matching and
+self-attention) used by TMN and the baselines.
+"""
+
+from .activations import Activation, LeakyReLU, ReLU, Sigmoid, Tanh
+from .attention import SelfAttention, cross_match, match_pattern
+from .gru import GRU, GRUCell
+from .linear import MLP, Linear
+from .lstm import LSTM, LSTMCell, gather_last
+from .module import Module, Parameter, Sequential
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Sequential",
+    "Linear",
+    "MLP",
+    "LSTM",
+    "LSTMCell",
+    "GRU",
+    "GRUCell",
+    "gather_last",
+    "SelfAttention",
+    "cross_match",
+    "match_pattern",
+    "Activation",
+    "LeakyReLU",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+]

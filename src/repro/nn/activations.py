@@ -1,0 +1,49 @@
+"""Activation modules.
+
+The paper's point-embedding layer uses LeakyReLU with slope 0.1 (Eq. 5);
+the rest are provided for baselines and experimentation.
+"""
+
+from __future__ import annotations
+
+from ..autograd import Tensor
+from .module import Module
+
+__all__ = ["Activation", "LeakyReLU", "ReLU", "Tanh", "Sigmoid"]
+
+
+class Activation(Module):
+    """Marker base class for parameter-free activation modules."""
+
+
+class LeakyReLU(Activation):
+    """LeakyReLU: x if x >= 0 else slope * x (paper Eq. 5, slope = 0.1)."""
+
+    def __init__(self, negative_slope: float = 0.1):
+        super().__init__()
+        self.negative_slope = negative_slope
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Apply the activation elementwise."""
+        return x.leaky_relu(self.negative_slope)
+
+
+class ReLU(Activation):
+    """Rectified linear unit: max(x, 0)."""
+    def forward(self, x: Tensor) -> Tensor:
+        """Apply the activation elementwise."""
+        return x.relu()
+
+
+class Tanh(Activation):
+    """Hyperbolic tangent activation."""
+    def forward(self, x: Tensor) -> Tensor:
+        """Apply the activation elementwise."""
+        return x.tanh()
+
+
+class Sigmoid(Activation):
+    """Logistic sigmoid activation."""
+    def forward(self, x: Tensor) -> Tensor:
+        """Apply the activation elementwise."""
+        return x.sigmoid()

@@ -1,0 +1,120 @@
+"""Attention mechanisms.
+
+Two flavours are needed for the reproduction:
+
+- :func:`cross_match` — the paper's core contribution (Section IV-B,
+  Eq. 6–11): dot-product attention *across* a trajectory pair producing the
+  match pattern ``P`` and the discrepancy matrix ``M = X_a − P·X_b``.
+- :class:`SelfAttention` — scaled dot-product self-attention used by the
+  T3S baseline to capture intra-trajectory structure.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..autograd import Tensor, masked_softmax, softmax
+from . import init
+from .module import Module, Parameter
+
+__all__ = ["match_pattern", "cross_match", "SelfAttention"]
+
+
+def match_pattern(
+    x_a: Tensor,
+    x_b: Tensor,
+    mask_a: Optional[np.ndarray] = None,
+    mask_b: Optional[np.ndarray] = None,
+) -> Tensor:
+    """Compute the match pattern ``P_{a<-b} = softmax(X_a X_b^T)`` (Eq. 8).
+
+    Row ``i`` of the result gives the attention weights of every point of
+    ``T_b`` from the viewpoint of point ``i`` of ``T_a``.  Padded positions
+    of ``T_b`` receive zero weight; padded rows of ``T_a`` are zeroed out.
+
+    Parameters
+    ----------
+    x_a, x_b:
+        Point-embedding tensors of shape ``(B, T, d)`` (or ``(T, d)``).
+    mask_a, mask_b:
+        Boolean validity masks of shape ``(B, T)`` (or ``(T,)``).
+    """
+    scores = x_a @ x_b.swapaxes(-1, -2)
+    if mask_b is not None:
+        mask_b = np.asarray(mask_b, dtype=bool)
+        key_mask = np.expand_dims(mask_b, axis=-2)  # (..., 1, T_b)
+        pattern = masked_softmax(scores, np.broadcast_to(key_mask, scores.shape), axis=-1)
+    else:
+        pattern = softmax(scores, axis=-1)
+    if mask_a is not None:
+        mask_a = np.asarray(mask_a, dtype=float)
+        pattern = pattern * Tensor(np.expand_dims(mask_a, axis=-1))
+    return pattern
+
+
+def cross_match(
+    x_a: Tensor,
+    x_b: Tensor,
+    mask_a: Optional[np.ndarray] = None,
+    mask_b: Optional[np.ndarray] = None,
+) -> Tuple[Tensor, Tensor]:
+    """The TMN matching mechanism (Eq. 6–11).
+
+    Computes, for every point of ``T_a``, the attention-weighted summary of
+    ``T_b``'s points (``S_{a<-b}``, Eq. 9–10) and the discrepancy
+    ``M_{a<-b} = X_a − S_{a<-b}`` (Eq. 11).  The paper presents Eq. 9–10 as
+    an expansion to ``(m, m, d)`` followed by a sum over ``j``; that is
+    algebraically the matrix product ``P·X_b`` computed here.
+
+    Returns
+    -------
+    (M, P):
+        The discrepancy tensor ``M_{a<-b}`` with the same shape as ``x_a``,
+        and the match pattern ``P_{a<-b}`` for inspection/visualisation.
+    """
+    pattern = match_pattern(x_a, x_b, mask_a=mask_a, mask_b=mask_b)
+    summary = pattern @ x_b  # S_{a<-b}
+    discrepancy = x_a - summary  # M_{a<-b}
+    if mask_a is not None:
+        # Keep padded rows exactly zero so downstream masking stays clean.
+        keep = np.expand_dims(np.asarray(mask_a, dtype=float), axis=-1)
+        discrepancy = discrepancy * Tensor(keep)
+    return discrepancy, pattern
+
+
+class SelfAttention(Module):
+    """Scaled dot-product self-attention with learned Q/K/V projections.
+
+    T3S combines the output of such a layer with an LSTM to capture the
+    structural information of a single trajectory.
+    """
+
+    def __init__(self, dim: int, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if dim <= 0:
+            raise ValueError("attention dim must be positive")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.dim = dim
+        self.w_q = Parameter(init.xavier_uniform((dim, dim), rng), name="w_q")
+        self.w_k = Parameter(init.xavier_uniform((dim, dim), rng), name="w_k")
+        self.w_v = Parameter(init.xavier_uniform((dim, dim), rng), name="w_v")
+
+    def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+        """Apply self-attention over ``(B, T, dim)`` input.
+
+        ``mask`` (B, T) hides padded positions from both queries and keys.
+        """
+        q = x @ self.w_q
+        k = x @ self.w_k
+        v = x @ self.w_v
+        scores = (q @ k.swapaxes(-1, -2)) * (1.0 / np.sqrt(self.dim))
+        if mask is not None:
+            mask = np.asarray(mask, dtype=bool)
+            key_mask = np.broadcast_to(np.expand_dims(mask, -2), scores.shape)
+            weights = masked_softmax(scores, key_mask, axis=-1)
+            weights = weights * Tensor(np.expand_dims(mask, -1).astype(float))
+        else:
+            weights = softmax(scores, axis=-1)
+        return weights @ v

@@ -1,0 +1,87 @@
+"""Fused LSTM step with a hand-derived backward pass.
+
+Composing an LSTM step from ~15 primitive autodiff ops makes every training
+step pay substantial tape overhead.  This module implements the whole cell
+update as two tape nodes (one per output) with an analytically derived
+gradient, giving identical results several times faster.  The gradient is
+validated against both finite differences and the composed implementation
+in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..autograd import Tensor
+
+__all__ = ["fused_lstm_step"]
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-x))
+
+
+def fused_lstm_step(
+    x: Tensor,
+    h: Tensor,
+    c: Tensor,
+    w_ih: Tensor,
+    w_hh: Tensor,
+    bias: Tensor,
+) -> Tuple[Tensor, Tensor]:
+    """One LSTM cell update ``(x, h, c) -> (h', c')`` as a fused op.
+
+    Gate layout follows :class:`repro.nn.lstm.LSTMCell`: the 4H columns of
+    the weight matrices are [input, forget, cell, output].
+
+    Because gradients are linear in the incoming ``(dh', dc')``, the two
+    outputs carry independent backward closures that accumulate into the
+    same parents.
+    """
+    hidden = h.data.shape[1]
+    gates = x.data @ w_ih.data + h.data @ w_hh.data + bias.data
+    i = _sigmoid(gates[:, 0 * hidden : 1 * hidden])
+    f = _sigmoid(gates[:, 1 * hidden : 2 * hidden])
+    g = np.tanh(gates[:, 2 * hidden : 3 * hidden])
+    o = _sigmoid(gates[:, 3 * hidden : 4 * hidden])
+    c_new = f * c.data + i * g
+    tanh_c = np.tanh(c_new)
+    h_new = o * tanh_c
+
+    parents = (x, h, c, w_ih, w_hh, bias)
+
+    def send_all(node: Tensor, d_ct: np.ndarray, d_o: np.ndarray) -> None:
+        """Distribute gradients given dLoss/dc_new (pre-output) and dLoss/do."""
+        d_i = d_ct * g
+        d_f = d_ct * c.data
+        d_g = d_ct * i
+        d_c_prev = d_ct * f
+        d_gates = np.concatenate(
+            [
+                d_i * i * (1.0 - i),
+                d_f * f * (1.0 - f),
+                d_g * (1.0 - g * g),
+                d_o * o * (1.0 - o),
+            ],
+            axis=1,
+        )
+        node._send(x, d_gates @ w_ih.data.T)
+        node._send(h, d_gates @ w_hh.data.T)
+        node._send(c, d_c_prev)
+        node._send(w_ih, x.data.T @ d_gates)
+        node._send(w_hh, h.data.T @ d_gates)
+        node._send(bias, d_gates.sum(axis=0))
+
+    def backward_h(grad: np.ndarray) -> None:
+        d_o = grad * tanh_c
+        d_ct = grad * o * (1.0 - tanh_c * tanh_c)
+        send_all(out_h, d_ct, d_o)
+
+    def backward_c(grad: np.ndarray) -> None:
+        send_all(out_c, grad, np.zeros_like(grad))
+
+    out_h = Tensor._make(h_new, parents, backward_h)
+    out_c = Tensor._make(c_new, parents, backward_c)
+    return out_h, out_c

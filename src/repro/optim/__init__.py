@@ -1,0 +1,19 @@
+"""Gradient-based optimizers.
+
+The paper trains TMN with Adam; SGD and learning-rate schedules are included
+for the parameter-sensitivity experiments (Figure 4).
+"""
+
+from .adam import Adam
+from .clip import clip_grad_norm
+from .schedule import ConstantLR, ExponentialDecayLR, StepLR
+from .sgd import SGD
+
+__all__ = [
+    "Adam",
+    "SGD",
+    "clip_grad_norm",
+    "ConstantLR",
+    "StepLR",
+    "ExponentialDecayLR",
+]

@@ -1,0 +1,73 @@
+"""Adam optimizer (Kingma & Ba, 2015) — the paper's optimizer of choice."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from ..autograd import Tensor
+
+__all__ = ["Adam"]
+
+
+class Adam:
+    """Adam with bias-corrected first/second moment estimates.
+
+    Parameters
+    ----------
+    params:
+        Iterable of tensors with ``requires_grad=True``.
+    lr:
+        Learning rate (paper default: 5e-3 under DTW on Porto).
+    betas:
+        Exponential decay rates for the moment estimates.
+    eps:
+        Numerical stabiliser added to the denominator.
+    weight_decay:
+        Optional L2 penalty coefficient.
+    """
+
+    def __init__(
+        self,
+        params: Iterable[Tensor],
+        lr: float = 5e-3,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        self.params: List[Tensor] = list(params)
+        if not self.params:
+            raise ValueError("optimizer received an empty parameter list")
+        if lr <= 0:
+            raise ValueError(f"invalid learning rate: {lr}")
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step = 0
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def zero_grad(self) -> None:
+        """Clear accumulated gradients on all managed parameters."""
+        for p in self.params:
+            p.grad = None
+
+    def step(self) -> None:
+        """Apply one Adam update using each parameter's accumulated ``.grad``."""
+        self._step += 1
+        t = self._step
+        bias1 = 1.0 - self.beta1**t
+        bias2 = 1.0 - self.beta2**t
+        for i, p in enumerate(self.params):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            self._m[i] = self.beta1 * self._m[i] + (1.0 - self.beta1) * grad
+            self._v[i] = self.beta2 * self._v[i] + (1.0 - self.beta2) * grad * grad
+            m_hat = self._m[i] / bias1
+            v_hat = self._v[i] / bias2
+            p.data = p.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

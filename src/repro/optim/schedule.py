@@ -1,0 +1,52 @@
+"""Learning-rate schedules.
+
+Small, explicit schedule objects that mutate an optimizer's ``lr``; used by
+the Figure 4 learning-rate sensitivity experiments.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ConstantLR", "StepLR", "ExponentialDecayLR"]
+
+
+class ConstantLR:
+    """Keeps the learning rate fixed; exists so trainers can treat schedules uniformly."""
+
+    def __init__(self, optimizer):
+        self.optimizer = optimizer
+
+    def step(self) -> float:
+        """Advance one epoch and return the (possibly updated) learning rate."""
+        return self.optimizer.lr
+
+
+class StepLR:
+    """Multiply lr by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer, step_size: int, gamma: float = 0.5):
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self._epoch = 0
+
+    def step(self) -> float:
+        """Advance one epoch and return the (possibly updated) learning rate."""
+        self._epoch += 1
+        if self._epoch % self.step_size == 0:
+            self.optimizer.lr *= self.gamma
+        return self.optimizer.lr
+
+
+class ExponentialDecayLR:
+    """Multiply lr by ``gamma`` every epoch."""
+
+    def __init__(self, optimizer, gamma: float = 0.95):
+        self.optimizer = optimizer
+        self.gamma = gamma
+
+    def step(self) -> float:
+        """Advance one epoch and return the (possibly updated) learning rate."""
+        self.optimizer.lr *= self.gamma
+        return self.optimizer.lr

@@ -1,0 +1,34 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import make_geolife_like, make_porto_like, prepare
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_corpus():
+    """A tiny preprocessed Porto-like corpus shared by integration tests."""
+    ds = make_porto_like(120, rng=np.random.default_rng(5))
+    ds, _ = prepare(ds)
+    return ds
+
+
+@pytest.fixture(scope="session")
+def small_geolife():
+    ds = make_geolife_like(120, rng=np.random.default_rng(6))
+    ds, _ = prepare(ds)
+    return ds
+
+
+@pytest.fixture
+def toy_trajectories(rng):
+    """A handful of random raw trajectories (arrays)."""
+    return [rng.normal(size=(int(rng.integers(5, 20)), 2)) for _ in range(12)]

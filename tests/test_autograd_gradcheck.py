@@ -1,0 +1,43 @@
+"""Tests for the gradient-checking utilities themselves."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, check_gradients, numeric_gradient
+
+
+def test_numeric_gradient_of_square():
+    x = np.array([1.0, 2.0, 3.0])
+    grad = numeric_gradient(lambda t: t * t, [x], index=0)
+    np.testing.assert_allclose(grad, 2 * x, atol=1e-5)
+
+
+def test_numeric_gradient_two_inputs():
+    a = np.array([2.0])
+    b = np.array([5.0])
+    grad_b = numeric_gradient(lambda x, y: x * y, [a, b], index=1)
+    np.testing.assert_allclose(grad_b, a, atol=1e-5)
+
+
+def test_check_gradients_passes_for_correct_op():
+    assert check_gradients(lambda t: (t * 3).tanh(), [np.array([0.2, -0.4])])
+
+
+def test_check_gradients_detects_wrong_gradient():
+    # A deliberately broken op: forward x^2 but gradient of identity.
+    def broken(t: Tensor) -> Tensor:
+        out_data = t.data**2
+
+        def backward(grad, a=t):
+            out._send(a, grad)  # wrong: should be grad * 2x
+
+        out = Tensor._make(out_data, (t,), backward)
+        return out
+
+    with pytest.raises(AssertionError, match="gradient mismatch"):
+        check_gradients(broken, [np.array([1.0, 2.0])])
+
+
+def test_check_gradients_handles_unused_input():
+    # Second input does not influence the output: gradient must be zero.
+    assert check_gradients(lambda x, y: x.sum() + 0.0 * y.sum(), [np.ones(2), np.ones(3)])

@@ -1,0 +1,94 @@
+"""Property-based tests of algebraic identities the autodiff engine must obey."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.autograd import Tensor, check_gradients
+
+matrices = arrays(
+    np.float64,
+    st.tuples(st.integers(1, 4), st.integers(1, 4)),
+    elements=st.floats(-2, 2, allow_nan=False, allow_infinity=False),
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(matrices, matrices)
+def test_addition_commutes(a, b):
+    if a.shape != b.shape:
+        return
+    np.testing.assert_allclose((Tensor(a) + Tensor(b)).data, (Tensor(b) + Tensor(a)).data)
+
+
+@settings(max_examples=30, deadline=None)
+@given(matrices)
+def test_double_negation(a):
+    np.testing.assert_allclose((-(-Tensor(a))).data, a)
+
+
+@settings(max_examples=30, deadline=None)
+@given(matrices)
+def test_exp_log_inverse(a):
+    t = Tensor(np.abs(a) + 0.5)
+    np.testing.assert_allclose(t.log().exp().data, t.data, atol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(matrices)
+def test_sum_linearity_of_gradient(a):
+    """d/dx sum(c * x) == c everywhere."""
+    t = Tensor(a, requires_grad=True)
+    (t * 3.5).sum().backward()
+    np.testing.assert_allclose(t.grad, np.full_like(a, 3.5))
+
+
+@settings(max_examples=30, deadline=None)
+@given(matrices)
+def test_chain_rule_products(a):
+    """Gradient of x*x*x is 3x^2 (repeated-use accumulation)."""
+    t = Tensor(a, requires_grad=True)
+    (t * t * t).sum().backward()
+    np.testing.assert_allclose(t.grad, 3 * a * a, atol=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 100_000))
+def test_matmul_transpose_identity(seed):
+    """(A B)^T == B^T A^T, and both paths gradcheck."""
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(3, 4))
+    b = rng.normal(size=(4, 2))
+    left = (Tensor(a) @ Tensor(b)).T
+    right = Tensor(b).T @ Tensor(a).T
+    np.testing.assert_allclose(left.data, right.data, atol=1e-12)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 100_000))
+def test_composed_network_gradcheck(seed):
+    """Random small 'network': linear -> tanh -> linear -> mean."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(3, 4))
+    w1 = rng.normal(size=(4, 5)) * 0.5
+    w2 = rng.normal(size=(5, 1)) * 0.5
+    check_gradients(lambda t, a, b: ((t @ a).tanh() @ b).mean(), [x, w1, w2])
+
+
+@settings(max_examples=20, deadline=None)
+@given(matrices)
+def test_mean_equals_sum_over_size(a):
+    t = Tensor(a)
+    np.testing.assert_allclose(t.mean().item(), t.sum().item() / a.size, atol=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(matrices)
+def test_detach_blocks_gradient_but_keeps_value(a):
+    t = Tensor(a, requires_grad=True)
+    d = (t * 2).detach()
+    np.testing.assert_allclose(d.data, 2 * a)
+    out = (d * 3).sum()
+    if out._backward is None:
+        assert t.grad is None

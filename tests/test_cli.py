@@ -1,0 +1,87 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.io import load_dataset
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_args(self):
+        args = build_parser().parse_args(["generate", "--out", "x", "--n", "50"])
+        assert args.command == "generate"
+        assert args.n == 50
+
+    def test_experiment_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "table99"])
+
+
+class TestGenerate:
+    def test_writes_dataset(self, tmp_path, capsys):
+        out = tmp_path / "corpus"
+        assert main(["generate", "--kind", "porto", "--n", "60", "--out", str(out)]) == 0
+        ds = load_dataset(out)
+        assert len(ds) > 10
+        assert "wrote" in capsys.readouterr().out
+
+    def test_raw_skips_preprocessing(self, tmp_path):
+        out = tmp_path / "raw"
+        main(["generate", "--kind", "geolife", "--n", "12", "--raw", "--out", str(out)])
+        assert len(load_dataset(out)) == 12
+
+
+class TestTrainEvaluate:
+    def test_train_then_evaluate(self, tmp_path, capsys):
+        ckpt = tmp_path / "model"
+        code = main(
+            [
+                "train",
+                "--kind",
+                "porto",
+                "--metric",
+                "hausdorff",
+                "--model",
+                "SRN",
+                "--fast",
+                "--epochs",
+                "1",
+                "--out",
+                str(ckpt),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "final loss" in out
+
+        code = main(
+            [
+                "evaluate",
+                "--checkpoint",
+                str(ckpt),
+                "--kind",
+                "porto",
+                "--metric",
+                "hausdorff",
+                "--fast",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "HR-5" in out
+
+
+class TestExperimentFast:
+    def test_table4_fast(self, capsys):
+        assert main(["experiment", "table4", "--metric", "hausdorff", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "TMN-kd" in out
+
+    def test_fig5_fast(self, capsys):
+        assert main(["experiment", "fig5", "--metric", "hausdorff", "--fast"]) == 0
+        assert "TMN-noSub" in capsys.readouterr().out

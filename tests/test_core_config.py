@@ -1,0 +1,131 @@
+"""Tests for TMNConfig and the similarity transforms."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.core import (
+    TMNConfig,
+    alpha_for_metric,
+    distance_to_similarity,
+    predicted_similarity,
+    similarity_to_distance,
+)
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        cfg = TMNConfig()
+        assert cfg.hidden_dim == 128
+        assert cfg.learning_rate == 5e-3
+        assert cfg.sampling_number == 20
+        assert cfg.sub_stride == 10
+        assert cfg.loss == "mse"
+        assert cfg.sampler == "rank"
+        assert cfg.matching
+
+    def test_embed_dim_is_half(self):
+        assert TMNConfig(hidden_dim=64).embed_dim == 32
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"hidden_dim": 3},
+            {"hidden_dim": 0},
+            {"sampling_number": 5},
+            {"sampling_number": 0},
+            {"loss": "huber"},
+            {"sampler": "random"},
+            {"sub_stride": 0},
+            {"epochs": 0},
+            {"learning_rate": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            TMNConfig(**kwargs)
+
+    def test_with_updates_returns_new(self):
+        cfg = TMNConfig()
+        cfg2 = cfg.with_updates(hidden_dim=16)
+        assert cfg2.hidden_dim == 16
+        assert cfg.hidden_dim == 128
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            TMNConfig().hidden_dim = 4
+
+
+class TestAlphaForMetric:
+    def test_paper_values(self):
+        assert alpha_for_metric("dtw") == 16.0
+        assert alpha_for_metric("erp") == 16.0
+        for name in ("hausdorff", "frechet", "edr", "lcss"):
+            assert alpha_for_metric(name) == 8.0
+
+    def test_case_insensitive(self):
+        assert alpha_for_metric("DTW") == 16.0
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            alpha_for_metric("cosine")
+
+
+class TestSimilarityTransforms:
+    def test_distance_to_similarity_range(self, rng):
+        d = np.abs(rng.normal(size=20))
+        s = distance_to_similarity(d, alpha=2.0)
+        assert np.all((s > 0) & (s <= 1))
+
+    def test_zero_distance_is_one(self):
+        assert distance_to_similarity(0.0, 1.0) == pytest.approx(1.0)
+
+    def test_roundtrip(self, rng):
+        d = np.abs(rng.normal(size=10))
+        s = distance_to_similarity(d, alpha=3.0)
+        np.testing.assert_allclose(similarity_to_distance(s, 3.0), d)
+
+    def test_tensor_input(self):
+        t = Tensor(np.array([0.0, 1.0]), requires_grad=True)
+        s = distance_to_similarity(t, alpha=1.0)
+        assert isinstance(s, Tensor)
+        np.testing.assert_allclose(s.data, [1.0, np.exp(-1)])
+        s.sum().backward()
+        assert t.grad is not None
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            distance_to_similarity(1.0, 0.0)
+        with pytest.raises(ValueError):
+            similarity_to_distance(0.5, -1.0)
+
+    def test_similarity_range_validation(self):
+        with pytest.raises(ValueError):
+            similarity_to_distance(1.5, 1.0)
+        with pytest.raises(ValueError):
+            similarity_to_distance(0.0, 1.0)
+
+
+class TestPredictedSimilarity:
+    def test_identical_embeddings_near_one(self):
+        e = np.ones((3, 4))
+        np.testing.assert_allclose(predicted_similarity(e, e), np.ones(3), atol=1e-5)
+
+    def test_monotone_in_distance(self, rng):
+        a = np.zeros((2, 3))
+        near = np.full((2, 3), 0.1)
+        far = np.full((2, 3), 5.0)
+        assert np.all(predicted_similarity(a, near) > predicted_similarity(a, far))
+
+    def test_tensor_and_array_agree(self, rng):
+        a = rng.normal(size=(4, 3))
+        b = rng.normal(size=(4, 3))
+        t = predicted_similarity(Tensor(a), Tensor(b))
+        n = predicted_similarity(a, b)
+        np.testing.assert_allclose(t.data, n, atol=1e-7)
+
+    def test_gradient_flows(self, rng):
+        a = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=(2, 3)))
+        predicted_similarity(a, b).sum().backward()
+        assert a.grad is not None

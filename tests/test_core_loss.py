@@ -1,0 +1,80 @@
+"""Tests for the training objectives."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.core import pair_loss, qerror_loss, weighted_mse_loss
+
+
+class TestWeightedMSE:
+    def test_hand_computed(self):
+        pred = Tensor(np.array([0.5, 0.8]))
+        true = np.array([0.4, 1.0])
+        w = np.array([2.0, 1.0])
+        # mean(2*(0.1)^2, 1*(0.2)^2) = (0.02 + 0.04)/2
+        assert weighted_mse_loss(pred, true, w).item() == pytest.approx(0.03)
+
+    def test_zero_when_exact(self):
+        pred = Tensor(np.array([0.3, 0.7]))
+        assert weighted_mse_loss(pred, pred.data.copy(), np.ones(2)).item() == 0.0
+
+    def test_gradient_direction(self):
+        pred = Tensor(np.array([0.9]), requires_grad=True)
+        loss = weighted_mse_loss(pred, np.array([0.1]), np.ones(1))
+        loss.backward()
+        assert pred.grad[0] > 0  # prediction too high -> positive gradient
+
+    def test_weight_scales_gradient(self):
+        grads = []
+        for w in (1.0, 5.0):
+            pred = Tensor(np.array([0.9]), requires_grad=True)
+            weighted_mse_loss(pred, np.array([0.1]), np.array([w])).backward()
+            grads.append(pred.grad[0])
+        assert grads[1] == pytest.approx(5 * grads[0])
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            weighted_mse_loss(Tensor(np.ones(3)), np.ones(2), np.ones(3))
+
+
+class TestQError:
+    def test_perfect_prediction_is_one(self):
+        pred = Tensor(np.array([0.5]))
+        assert qerror_loss(pred, np.array([0.5]), np.ones(1)).item() == pytest.approx(1.0)
+
+    def test_symmetric_in_ratio(self):
+        over = qerror_loss(Tensor(np.array([0.8])), np.array([0.4]), np.ones(1)).item()
+        under = qerror_loss(Tensor(np.array([0.4])), np.array([0.8]), np.ones(1)).item()
+        assert over == pytest.approx(under)
+        assert over == pytest.approx(2.0)
+
+    def test_floor_prevents_explosion(self):
+        loss = qerror_loss(
+            Tensor(np.array([1e-12])), np.array([0.5]), np.ones(1), floor=1e-4
+        ).item()
+        assert loss <= 0.5 / 1e-4 + 1e-6
+
+    def test_gradient_flows(self):
+        pred = Tensor(np.array([0.3]), requires_grad=True)
+        qerror_loss(pred, np.array([0.6]), np.ones(1)).backward()
+        assert pred.grad is not None
+        assert pred.grad[0] != 0.0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            qerror_loss(Tensor(np.ones(2)), np.ones(3), np.ones(2))
+
+
+class TestPairLossDispatch:
+    def test_mse_dispatch(self):
+        pred = Tensor(np.array([0.5]))
+        assert pair_loss("mse", pred, np.array([0.5]), np.ones(1)).item() == 0.0
+
+    def test_qerror_dispatch(self):
+        pred = Tensor(np.array([0.5]))
+        assert pair_loss("qerror", pred, np.array([0.5]), np.ones(1)).item() == pytest.approx(1.0)
+
+    def test_unknown_kind(self):
+        with pytest.raises(KeyError):
+            pair_loss("hinge", Tensor(np.ones(1)), np.ones(1), np.ones(1))

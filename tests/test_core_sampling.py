@@ -1,0 +1,150 @@
+"""Tests for the training-pair sampling strategies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import KDTreeSampler, RankSampler, rank_weights, simplify_trajectory
+from repro.metrics import pairwise_distance_matrix
+
+
+@pytest.fixture
+def distances(rng):
+    pts = rng.normal(size=(30, 2))
+    diff = pts[:, None] - pts[None, :]
+    return np.sqrt((diff**2).sum(-1))
+
+
+class TestRankWeights:
+    def test_paper_formula(self):
+        n = 4
+        w = rank_weights(n)
+        expected = np.array([2 * 4, 2 * 3, 2 * 2, 2 * 1]) / (16 + 4)
+        np.testing.assert_allclose(w, expected)
+
+    def test_sums_to_one(self):
+        for n in (1, 2, 5, 50):
+            assert rank_weights(n).sum() == pytest.approx(1.0)
+
+    def test_strictly_decreasing(self):
+        w = rank_weights(10)
+        assert np.all(np.diff(w) < 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rank_weights(0)
+
+
+class TestRankSampler:
+    def test_sample_counts(self, distances, rng):
+        sampler = RankSampler(distances, sampling_number=10)
+        samples = sampler.sample(3, rng)
+        assert len(samples) == 10
+        assert sum(s.is_near for s in samples) == 5
+        assert sum(not s.is_near for s in samples) == 5
+
+    def test_never_samples_anchor(self, distances, rng):
+        sampler = RankSampler(distances, sampling_number=10)
+        for anchor in range(10):
+            assert all(s.sample != anchor for s in sampler.sample(anchor, rng))
+
+    def test_near_closer_than_far(self, distances, rng):
+        """The paper's guarantee: every near sample is at most as distant
+        as every far sample in the mini-batch."""
+        sampler = RankSampler(distances, sampling_number=12)
+        for anchor in range(5):
+            samples = sampler.sample(anchor, rng)
+            near_d = [distances[anchor, s.sample] for s in samples if s.is_near]
+            far_d = [distances[anchor, s.sample] for s in samples if not s.is_near]
+            assert max(near_d) <= min(far_d) + 1e-12
+
+    def test_weights_decrease_with_rank(self, distances, rng):
+        sampler = RankSampler(distances, sampling_number=8)
+        samples = sampler.sample(0, rng)
+        near = [s for s in samples if s.is_near]
+        near_sorted = sorted(near, key=lambda s: distances[0, s.sample])
+        weights = [s.weight for s in near_sorted]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_no_duplicate_samples(self, distances, rng):
+        sampler = RankSampler(distances, sampling_number=20)
+        samples = sampler.sample(0, rng)
+        ids = [s.sample for s in samples]
+        assert len(set(ids)) == len(ids)
+
+    def test_validation(self, distances):
+        with pytest.raises(ValueError):
+            RankSampler(distances[:3], sampling_number=4)  # non-square
+        with pytest.raises(ValueError):
+            RankSampler(distances, sampling_number=3)  # odd
+        with pytest.raises(ValueError):
+            RankSampler(distances, sampling_number=30)  # too large
+
+
+class TestSimplify:
+    def test_preserves_endpoints(self, rng):
+        pts = rng.normal(size=(37, 2))
+        v = simplify_trajectory(pts, n_segments=10)
+        np.testing.assert_allclose(v[:2], pts[0])
+        np.testing.assert_allclose(v[-2:], pts[-1])
+
+    def test_output_length(self, rng):
+        assert simplify_trajectory(rng.normal(size=(20, 2)), n_segments=7).shape == (14,)
+
+    def test_short_trajectory_interpolates(self):
+        pts = np.array([[0.0, 0.0], [1.0, 1.0]])
+        v = simplify_trajectory(pts, n_segments=3).reshape(3, 2)
+        np.testing.assert_allclose(v[1], [0.5, 0.5])
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            simplify_trajectory(rng.normal(size=(5, 3)))
+        with pytest.raises(ValueError):
+            simplify_trajectory(rng.normal(size=(5, 2)), n_segments=1)
+
+
+class TestKDTreeSampler:
+    def make(self, rng, n=25, k=4):
+        trajs = [rng.normal(size=(int(rng.integers(5, 15)), 2)) for _ in range(n)]
+        distances = pairwise_distance_matrix(trajs, "hausdorff")
+        return KDTreeSampler(trajs, distances, k_neighbors=k), trajs, distances
+
+    def test_sample_counts(self, rng):
+        sampler, _, _ = self.make(rng, k=4)
+        samples = sampler.sample(0, rng)
+        assert sum(s.is_near for s in samples) == 4
+        assert sum(not s.is_near for s in samples) == 4
+
+    def test_near_are_tree_neighbors(self, rng):
+        sampler, _, _ = self.make(rng, k=3)
+        _, idx = sampler.tree.query(sampler.vectors[5], k=4)
+        tree_neighbors = {int(i) for i in idx if i != 5}
+        samples = sampler.sample(5, rng)
+        near = {s.sample for s in samples if s.is_near}
+        assert near <= tree_neighbors | near  # near from tree neighborhood
+        assert near.issubset(tree_neighbors)
+
+    def test_far_excludes_near_and_anchor(self, rng):
+        sampler, _, _ = self.make(rng)
+        samples = sampler.sample(2, rng)
+        near = {s.sample for s in samples if s.is_near}
+        far = {s.sample for s in samples if not s.is_near}
+        assert 2 not in far
+        assert not near & far
+
+    def test_validation(self, rng):
+        trajs = [rng.normal(size=(5, 2)) for _ in range(3)]
+        d = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            KDTreeSampler(trajs, d, k_neighbors=0)
+        with pytest.raises(ValueError):
+            KDTreeSampler(trajs, d, k_neighbors=5)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(1, 60))
+def test_property_rank_weights_distribution(n):
+    w = rank_weights(n)
+    assert w.sum() == pytest.approx(1.0)
+    assert np.all(w > 0)

@@ -1,0 +1,287 @@
+"""Tests for trajectory containers, synthetic corpora, preprocessing,
+grid mapping and batching."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    GEOLIFE_BBOX,
+    PORTO_BBOX,
+    GridMapper,
+    NormStats,
+    Trajectory,
+    TrajectoryDataset,
+    filter_center,
+    filter_min_length,
+    make_dataset,
+    make_geolife_like,
+    make_porto_like,
+    normalize,
+    pad_batch,
+    pair_batch,
+    prepare,
+)
+
+
+class TestTrajectory:
+    def test_basic(self, rng):
+        t = Trajectory(rng.normal(size=(5, 2)))
+        assert len(t) == 5
+        assert t.points.dtype == np.float64
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Trajectory(np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            Trajectory(np.zeros((0, 2)))
+        with pytest.raises(ValueError):
+            Trajectory(np.zeros((3, 2)), timestamps=np.zeros(2))
+
+    def test_prefix(self, rng):
+        t = Trajectory(rng.normal(size=(6, 2)), timestamps=np.arange(6.0))
+        p = t.prefix(3)
+        assert len(p) == 3
+        np.testing.assert_allclose(p.points, t.points[:3])
+        np.testing.assert_allclose(p.timestamps, [0, 1, 2])
+
+    def test_prefix_is_a_copy(self, rng):
+        t = Trajectory(rng.normal(size=(4, 2)))
+        p = t.prefix(2)
+        p.points[0] = 999
+        assert t.points[0, 0] != 999
+
+    def test_prefix_range(self, rng):
+        t = Trajectory(rng.normal(size=(4, 2)))
+        with pytest.raises(ValueError):
+            t.prefix(0)
+        with pytest.raises(ValueError):
+            t.prefix(5)
+
+    def test_bbox_and_centroid(self):
+        t = Trajectory(np.array([[0.0, 0.0], [2.0, 4.0]]))
+        assert t.bbox() == (0.0, 0.0, 2.0, 4.0)
+        np.testing.assert_allclose(t.centroid(), [1.0, 2.0])
+
+    def test_length_along(self):
+        t = Trajectory(np.array([[0.0, 0.0], [3.0, 4.0], [3.0, 4.0]]))
+        assert t.length_along() == pytest.approx(5.0)
+        assert Trajectory(np.zeros((1, 2))).length_along() == 0.0
+
+    def test_iteration(self, rng):
+        t = Trajectory(rng.normal(size=(3, 2)))
+        assert len(list(t)) == 3
+
+
+class TestDataset:
+    def make(self, rng, n=10):
+        return TrajectoryDataset(
+            [Trajectory(rng.normal(size=(5, 2))) for _ in range(n)], name="x"
+        )
+
+    def test_auto_ids(self, rng):
+        ds = self.make(rng)
+        assert [t.traj_id for t in ds] == list(range(10))
+
+    def test_indexing_variants(self, rng):
+        ds = self.make(rng)
+        assert isinstance(ds[0], Trajectory)
+        assert len(ds[2:5]) == 3
+        assert len(ds[[0, 3, 7]]) == 3
+        assert len(ds[np.array([1, 2])]) == 2
+
+    def test_lengths(self, rng):
+        ds = self.make(rng)
+        np.testing.assert_array_equal(ds.lengths(), np.full(10, 5))
+
+    def test_split_sizes_and_disjoint(self, rng):
+        ds = self.make(rng, n=20)
+        train, test = ds.split(0.25, rng=rng)
+        assert len(train) == 5
+        assert len(test) == 15
+        train_ids = {t.traj_id for t in train}
+        test_ids = {t.traj_id for t in test}
+        assert not train_ids & test_ids
+
+    def test_split_validation(self, rng):
+        ds = self.make(rng)
+        with pytest.raises(ValueError):
+            ds.split(0.0)
+        with pytest.raises(ValueError):
+            ds.split(1.0)
+
+    def test_split_deterministic_without_rng(self, rng):
+        ds = self.make(rng)
+        train, _ = ds.split(0.5)
+        assert [t.traj_id for t in train] == list(range(5))
+
+
+class TestSynthetic:
+    @pytest.mark.parametrize("maker,bbox", [(make_geolife_like, GEOLIFE_BBOX), (make_porto_like, PORTO_BBOX)])
+    def test_within_bbox_roughly(self, maker, bbox, rng):
+        ds = maker(30, rng=rng)
+        assert len(ds) == 30
+        x0, y0, x1, y1 = bbox
+        margin = 0.01
+        for t in ds:
+            assert t.points[:, 0].min() >= x0 - margin
+            assert t.points[:, 0].max() <= x1 + margin
+
+    def test_lengths_in_range(self, rng):
+        ds = make_geolife_like(25, rng=rng, min_len=15, max_len=20)
+        lengths = ds.lengths()
+        assert lengths.min() >= 15
+        assert lengths.max() <= 20
+
+    def test_deterministic_given_seed(self):
+        a = make_porto_like(5, rng=np.random.default_rng(3))
+        b = make_porto_like(5, rng=np.random.default_rng(3))
+        for ta, tb in zip(a, b):
+            np.testing.assert_allclose(ta.points, tb.points)
+
+    def test_timestamps_monotone(self, rng):
+        ds = make_geolife_like(5, rng=rng)
+        for t in ds:
+            assert np.all(np.diff(t.timestamps) > 0)
+
+    def test_make_dataset_front_door(self):
+        assert make_dataset("geolife", 5, seed=1).meta["kind"] == "geolife"
+        assert make_dataset("porto", 5, seed=1).meta["kind"] == "porto"
+        with pytest.raises(KeyError):
+            make_dataset("tokyo", 5)
+
+    def test_make_dataset_seed_determinism(self):
+        a = make_dataset("porto", 4, seed=9)
+        b = make_dataset("porto", 4, seed=9)
+        np.testing.assert_allclose(a[0].points, b[0].points)
+
+
+class TestPreprocess:
+    def test_filter_min_length(self, rng):
+        trajs = [Trajectory(rng.normal(size=(n, 2))) for n in (3, 10, 20)]
+        ds = TrajectoryDataset(trajs)
+        out = filter_min_length(ds, 10)
+        assert len(out) == 2
+        assert out.meta["min_points"] == 10
+
+    def test_filter_center_keeps_central(self, rng):
+        pts = [Trajectory(np.full((3, 2), v, dtype=float)) for v in np.linspace(0, 10, 11)]
+        ds = TrajectoryDataset(pts)
+        out = filter_center(ds, keep_fraction=0.5)
+        centroids = np.array([t.centroid()[0] for t in out])
+        assert centroids.min() >= 2.0
+        assert centroids.max() <= 8.0
+
+    def test_filter_center_validation(self, rng):
+        ds = TrajectoryDataset([Trajectory(rng.normal(size=(3, 2)))])
+        with pytest.raises(ValueError):
+            filter_center(ds, keep_fraction=0.0)
+        with pytest.raises(ValueError):
+            filter_center(ds, keep_fraction=1.5)
+
+    def test_normalize_stats(self, rng):
+        ds = TrajectoryDataset([Trajectory(rng.normal(10, 3, size=(50, 2))) for _ in range(5)])
+        out, stats = normalize(ds)
+        all_points = np.concatenate([t.points for t in out])
+        np.testing.assert_allclose(all_points.mean(axis=0), [0, 0], atol=1e-10)
+        np.testing.assert_allclose(all_points.std(axis=0), [1, 1], atol=1e-10)
+
+    def test_normalize_roundtrip(self, rng):
+        pts = rng.normal(5, 2, size=(10, 2))
+        stats = NormStats(mean=(5.0, 5.0), std=(2.0, 2.0))
+        np.testing.assert_allclose(stats.inverse(stats.transform(pts)), pts)
+
+    def test_normalize_with_existing_stats(self, rng):
+        ds = TrajectoryDataset([Trajectory(rng.normal(size=(5, 2)))])
+        stats = NormStats(mean=(1.0, 1.0), std=(2.0, 2.0))
+        out, returned = normalize(ds, stats=stats)
+        assert returned is stats
+        np.testing.assert_allclose(
+            out[0].points, (ds[0].points - 1.0) / 2.0
+        )
+
+    def test_prepare_pipeline(self, small_corpus):
+        # small_corpus fixture already ran prepare(); re-running must work.
+        assert len(small_corpus) > 10
+        assert small_corpus.meta.get("normalized")
+
+    def test_prepare_empty_raises(self, rng):
+        ds = TrajectoryDataset([Trajectory(rng.normal(size=(2, 2)))])
+        with pytest.raises(ValueError):
+            prepare(ds, min_points=10)
+
+
+class TestGridMapper:
+    def test_cell_ids_in_range(self, rng):
+        gm = GridMapper((0, 0, 1, 1), n_cells=8)
+        pts = rng.random((100, 2))
+        ids = gm.cell_ids(pts)
+        assert ids.min() >= 0
+        assert ids.max() < 64
+
+    def test_out_of_bbox_clamped(self):
+        gm = GridMapper((0, 0, 1, 1), n_cells=4)
+        ids = gm.cell_ids(np.array([[-5.0, -5.0], [5.0, 5.0]]))
+        assert ids[0] == 0
+        assert ids[1] == 15
+
+    def test_center_roundtrip(self):
+        gm = GridMapper((0, 0, 1, 1), n_cells=5)
+        for cell in (0, 7, 24):
+            assert gm.cell_ids(gm.cell_center(cell)[None, :])[0] == cell
+
+    def test_center_range_check(self):
+        gm = GridMapper((0, 0, 1, 1), n_cells=2)
+        with pytest.raises(ValueError):
+            gm.cell_center(4)
+
+    def test_neighbors_interior_and_corner(self):
+        gm = GridMapper((0, 0, 1, 1), n_cells=4)
+        interior = gm.neighbors(5)  # (1,1)
+        assert len(interior) == 9
+        corner = gm.neighbors(0)
+        assert len(corner) == 4
+
+    def test_fit_covers_points(self, rng):
+        pts = rng.normal(size=(50, 2)) * 10
+        gm = GridMapper.fit(pts, n_cells=6)
+        ids = gm.cell_ids(pts)
+        assert ids.min() >= 0 and ids.max() < 36
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GridMapper((1, 0, 0, 1), n_cells=4)
+        with pytest.raises(ValueError):
+            GridMapper((0, 0, 1, 1), n_cells=0)
+
+
+class TestBatching:
+    def test_pad_batch_shapes(self, rng):
+        trajs = [rng.normal(size=(n, 2)) for n in (3, 7, 5)]
+        padded, lengths, mask = pad_batch(trajs)
+        assert padded.shape == (3, 7, 2)
+        np.testing.assert_array_equal(lengths, [3, 7, 5])
+        assert mask.sum() == 15
+        np.testing.assert_allclose(padded[0, 3:], 0.0)
+
+    def test_pad_batch_accepts_trajectory_objects(self, rng):
+        trajs = [Trajectory(rng.normal(size=(4, 2)))]
+        padded, lengths, mask = pad_batch(trajs)
+        assert padded.shape == (1, 4, 2)
+
+    def test_pad_batch_validation(self, rng):
+        with pytest.raises(ValueError):
+            pad_batch([])
+        with pytest.raises(ValueError):
+            pad_batch([rng.normal(size=(4, 3))])
+
+    def test_pair_batch_common_length(self, rng):
+        a = [rng.normal(size=(3, 2)), rng.normal(size=(5, 2))]
+        b = [rng.normal(size=(9, 2)), rng.normal(size=(2, 2))]
+        pa, la, ma, pb, lb, mb = pair_batch(a, b)
+        assert pa.shape == pb.shape == (2, 9, 2)
+        np.testing.assert_array_equal(la, [3, 5])
+        np.testing.assert_array_equal(lb, [9, 2])
+
+    def test_pair_batch_length_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            pair_batch([rng.normal(size=(3, 2))], [])

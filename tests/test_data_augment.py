@@ -1,0 +1,79 @@
+"""Tests for trajectory perturbations."""
+
+import numpy as np
+import pytest
+
+from repro.data import Trajectory
+from repro.data.augment import add_noise, crop, downsample
+
+
+@pytest.fixture
+def traj(rng):
+    return rng.normal(size=(30, 2))
+
+
+class TestDownsample:
+    def test_keeps_endpoints(self, traj, rng):
+        out = downsample(traj, 0.3, rng)
+        np.testing.assert_allclose(out[0], traj[0])
+        np.testing.assert_allclose(out[-1], traj[-1])
+
+    def test_reduces_length(self, traj, rng):
+        out = downsample(traj, 0.3, rng)
+        assert 2 <= len(out) < len(traj)
+
+    def test_full_fraction_identity(self, traj, rng):
+        np.testing.assert_allclose(downsample(traj, 1.0, rng), traj)
+
+    def test_short_input_untouched(self, rng):
+        pts = rng.normal(size=(2, 2))
+        np.testing.assert_allclose(downsample(pts, 0.1, rng), pts)
+
+    def test_does_not_mutate(self, traj, rng):
+        before = traj.copy()
+        downsample(traj, 0.5, rng)
+        np.testing.assert_allclose(traj, before)
+
+    def test_accepts_trajectory_object(self, traj, rng):
+        out = downsample(Trajectory(traj), 0.5, rng)
+        assert out.shape[1] == 2
+
+    def test_validation(self, traj, rng):
+        with pytest.raises(ValueError):
+            downsample(traj, 0.0, rng)
+        with pytest.raises(ValueError):
+            downsample(traj, 1.5, rng)
+
+
+class TestNoise:
+    def test_zero_sigma_identity(self, traj, rng):
+        np.testing.assert_allclose(add_noise(traj, 0.0, rng), traj)
+
+    def test_perturbation_scale(self, traj, rng):
+        out = add_noise(traj, 0.1, rng)
+        assert (out - traj).std() == pytest.approx(0.1, rel=0.4)
+
+    def test_validation(self, traj, rng):
+        with pytest.raises(ValueError):
+            add_noise(traj, -0.1, rng)
+
+
+class TestCrop:
+    def test_window_is_contiguous_subsequence(self, traj, rng):
+        out = crop(traj, 0.4, rng)
+        # Find the window start by matching the first output point.
+        starts = np.where((traj == out[0]).all(axis=1))[0]
+        assert any(
+            np.allclose(traj[s : s + len(out)], out) for s in starts
+        )
+
+    def test_window_size(self, traj, rng):
+        out = crop(traj, 0.4, rng)
+        assert len(out) == max(2, round(0.4 * len(traj)))
+
+    def test_full_fraction_identity(self, traj, rng):
+        np.testing.assert_allclose(crop(traj, 1.0, rng), traj)
+
+    def test_validation(self, traj, rng):
+        with pytest.raises(ValueError):
+            crop(traj, 0.0, rng)

@@ -1,0 +1,130 @@
+"""Edge-case tests across modules: boundary shapes, degenerate inputs,
+object-vs-array polymorphism."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.core import TMN, TMNConfig
+from repro.data import GridMapper, Trajectory, pair_batch
+from repro.eval import topk_indices
+from repro.metrics import cross_dist, dtw, dtw_matrix, erp, get_metric, hausdorff
+
+
+class TestAutogradEdges:
+    def test_squeeze_all_axes(self, rng):
+        t = Tensor(rng.normal(size=(1, 3, 1)))
+        assert t.squeeze().shape == (3,)
+
+    def test_transpose_1d_is_identity(self, rng):
+        t = Tensor(rng.normal(size=4))
+        np.testing.assert_allclose(t.T.data, t.data)
+
+    def test_getitem_boolean_mask(self):
+        t = Tensor(np.arange(4.0), requires_grad=True)
+        mask = np.array([True, False, True, False])
+        t[mask].sum().backward()
+        np.testing.assert_allclose(t.grad, [1.0, 0.0, 1.0, 0.0])
+
+    def test_scalar_tensor_arithmetic(self):
+        assert (Tensor(2.0) * Tensor(3.0)).item() == 6.0
+
+    def test_empty_like_shapes_rejected_by_metrics(self):
+        with pytest.raises(ValueError):
+            dtw(np.zeros((0, 2)), np.zeros((3, 2)))
+
+    def test_zero_dim_sum(self):
+        t = Tensor(5.0, requires_grad=True)
+        t.sum().backward()
+        assert t.grad == pytest.approx(1.0)
+
+
+class TestMetricEdges:
+    def test_dtw_matrix_borders_infinite(self, rng):
+        a, b = rng.normal(size=(3, 2)), rng.normal(size=(4, 2))
+        table = dtw_matrix(a, b)
+        assert np.all(np.isinf(table[0, 1:]))
+        assert np.all(np.isinf(table[1:, 0]))
+        assert table[0, 0] == 0.0
+
+    def test_cross_dist_transpose_symmetry(self, rng):
+        a, b = rng.normal(size=(3, 2)), rng.normal(size=(5, 2))
+        np.testing.assert_allclose(cross_dist(a, b), cross_dist(b, a).T)
+
+    def test_metrics_accept_trajectory_objects(self, rng):
+        ta = Trajectory(rng.normal(size=(4, 2)))
+        tb = Trajectory(rng.normal(size=(6, 2)))
+        assert dtw(ta, tb) == pytest.approx(dtw(ta.points, tb.points))
+        assert erp(ta, tb) == pytest.approx(erp(ta.points, tb.points))
+        assert hausdorff(ta, tb) == pytest.approx(hausdorff(ta.points, tb.points))
+
+    def test_very_long_vs_single_point(self, rng):
+        long = rng.normal(size=(40, 2))
+        point = rng.normal(size=(1, 2))
+        expected = np.sqrt(((long - point[0]) ** 2).sum(axis=1)).sum()
+        assert dtw(long, point) == pytest.approx(expected)
+
+    def test_spec_batch_on_single_pair(self, rng):
+        spec = get_metric("frechet")
+        a = rng.normal(size=(1, 5, 2))
+        b = rng.normal(size=(1, 5, 2))
+        out = spec.batch(a, b, np.array([5]), np.array([5]))
+        assert out.shape == (1,)
+
+
+class TestDataEdges:
+    def test_pair_batch_with_trajectory_objects(self, rng):
+        a = [Trajectory(rng.normal(size=(3, 2)))]
+        b = [Trajectory(rng.normal(size=(7, 2)))]
+        pa, la, ma, pb, lb, mb = pair_batch(a, b)
+        assert pa.shape == (1, 7, 2)
+        assert la[0] == 3
+
+    def test_grid_neighbors_radius_two(self):
+        gm = GridMapper((0, 0, 1, 1), n_cells=6)
+        center = gm.cell_ids(np.array([[0.5, 0.5]]))[0]
+        assert len(gm.neighbors(int(center), radius=2)) == 25
+
+    def test_single_point_trajectory_roundtrip(self):
+        t = Trajectory(np.array([[1.0, 2.0]]))
+        assert len(t) == 1
+        assert t.prefix(1).points.shape == (1, 2)
+
+
+class TestModelEdges:
+    def test_tmn_single_point_pair(self, rng):
+        model = TMN(TMNConfig(hidden_dim=8, sampling_number=4, seed=0))
+        a = [np.array([[0.1, 0.2]])]
+        b = [np.array([[0.3, 0.4]])]
+        emb_a, emb_b = model.embed_pair(a, b)
+        assert emb_a.shape == (1, 8)
+        assert np.all(np.isfinite(emb_a.data))
+
+    def test_tmn_very_unequal_lengths(self, rng):
+        model = TMN(TMNConfig(hidden_dim=8, sampling_number=4, seed=0))
+        a = [rng.normal(size=(2, 2))]
+        b = [rng.normal(size=(30, 2))]
+        emb_a, emb_b = model.embed_pair(a, b)
+        assert np.all(np.isfinite(emb_a.data))
+        assert np.all(np.isfinite(emb_b.data))
+
+    def test_minimum_hidden_dim(self, rng):
+        model = TMN(TMNConfig(hidden_dim=2, sampling_number=4, seed=0))
+        trajs = [rng.normal(size=(4, 2))]
+        emb, _ = model.embed_pair(trajs, trajs)
+        assert emb.shape == (1, 2)
+
+
+class TestEvalEdges:
+    def test_topk_with_ties(self):
+        mat = np.ones((3, 3))
+        np.fill_diagonal(mat, 0.0)
+        idx = topk_indices(mat, k=2, exclude_self=True)
+        for row in range(3):
+            assert row not in idx[row]
+
+    def test_topk_k_equals_all_candidates(self, rng):
+        mat = rng.random((4, 4))
+        idx = topk_indices(mat, k=3, exclude_self=True)
+        for row in range(4):
+            assert set(idx[row]) == set(range(4)) - {row}

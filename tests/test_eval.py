@@ -1,0 +1,156 @@
+"""Tests for the evaluation stack: search, ranking metrics, efficiency."""
+
+import numpy as np
+import pytest
+from scipy.spatial.distance import cdist
+
+from repro.eval import (
+    embedding_distance_matrix,
+    evaluate_rankings,
+    hitting_ratio,
+    recall_k_at_t,
+    time_encoding,
+    time_exact_metric,
+    time_vector_similarity,
+    topk_indices,
+)
+
+
+class TestEmbeddingDistanceMatrix:
+    def test_matches_scipy(self, rng):
+        a = rng.normal(size=(10, 6))
+        np.testing.assert_allclose(embedding_distance_matrix(a), cdist(a, a), atol=1e-6)
+
+    def test_cross_matches_scipy(self, rng):
+        a = rng.normal(size=(5, 4))
+        b = rng.normal(size=(7, 4))
+        np.testing.assert_allclose(embedding_distance_matrix(a, b), cdist(a, b), atol=1e-6)
+
+    def test_no_negative_values_from_rounding(self, rng):
+        a = rng.normal(size=(20, 3))
+        assert np.all(embedding_distance_matrix(a) >= 0)
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            embedding_distance_matrix(rng.normal(size=(5, 3)), rng.normal(size=(5, 4)))
+        with pytest.raises(ValueError):
+            embedding_distance_matrix(rng.normal(size=5))
+
+
+class TestTopK:
+    def test_simple_ranking(self):
+        mat = np.array([[0.0, 1.0, 3.0, 2.0], [1.0, 0.0, 0.5, 4.0]])
+        idx = topk_indices(mat, k=2, exclude_self=False)
+        np.testing.assert_array_equal(idx[0], [0, 1])
+        np.testing.assert_array_equal(idx[1], [1, 2])
+
+    def test_exclude_self_skips_diagonal(self):
+        mat = np.zeros((3, 3)) + 5.0
+        np.fill_diagonal(mat, 0.0)
+        mat[0, 2] = 1.0
+        idx = topk_indices(mat, k=1, exclude_self=True)
+        assert idx[0, 0] == 2
+
+    def test_sorted_by_distance(self, rng):
+        mat = rng.random((6, 6))
+        idx = topk_indices(mat, k=5, exclude_self=False)
+        for row in range(6):
+            vals = mat[row, idx[row]]
+            assert np.all(np.diff(vals) >= 0)
+
+    def test_k_validation(self, rng):
+        mat = rng.random((4, 4))
+        with pytest.raises(ValueError):
+            topk_indices(mat, k=0)
+        with pytest.raises(ValueError):
+            topk_indices(mat, k=4, exclude_self=True)  # only 3 candidates
+
+    def test_exclude_self_requires_square(self, rng):
+        with pytest.raises(ValueError):
+            topk_indices(rng.random((3, 5)), k=2, exclude_self=True)
+
+
+class TestRankingMetrics:
+    def test_perfect_prediction_gives_one(self, rng):
+        gt = rng.random((8, 8))
+        gt = gt + gt.T
+        assert hitting_ratio(gt, gt.copy(), k=3) == 1.0
+        assert recall_k_at_t(gt, gt.copy(), k=2, t=4) == 1.0
+
+    def test_monotone_ordering_gives_one(self, rng):
+        """Any monotone transform of the distances preserves rankings."""
+        gt = rng.random((8, 8))
+        gt = gt + gt.T
+        assert hitting_ratio(gt, gt**3, k=3) == 1.0
+
+    def test_hand_example(self):
+        # 4 items; query 0's true nearest is 1, predicted nearest is 2.
+        gt = np.array(
+            [
+                [0.0, 1.0, 2.0, 3.0],
+                [1.0, 0.0, 9.0, 9.0],
+                [2.0, 9.0, 0.0, 9.0],
+                [3.0, 9.0, 9.0, 0.0],
+            ]
+        )
+        pred = gt.copy()
+        pred[0, 1], pred[0, 2] = 2.0, 1.0  # swap ranks for query 0
+        hr1 = hitting_ratio(gt, pred, k=1)
+        assert hr1 == pytest.approx(3 / 4)  # only query 0 misses
+
+    def test_recall_requires_t_ge_k(self, rng):
+        gt = rng.random((5, 5))
+        with pytest.raises(ValueError):
+            recall_k_at_t(gt, gt, k=3, t=2)
+
+    def test_recall_at_larger_t_not_smaller(self, rng):
+        gt = rng.random((10, 10))
+        gt = gt + gt.T
+        pred = rng.random((10, 10))
+        pred = pred + pred.T
+        r_small = recall_k_at_t(gt, pred, k=3, t=3)
+        r_large = recall_k_at_t(gt, pred, k=3, t=8)
+        assert r_large >= r_small
+
+    def test_evaluate_rankings_bundle(self, rng):
+        gt = rng.random((12, 12))
+        gt = gt + gt.T
+        out = evaluate_rankings(gt, gt.copy(), hr_ks=(3, 5), recall=(3, 5))
+        assert set(out) == {"HR-3", "HR-5", "R3@5"}
+        assert all(v == 1.0 for v in out.values())
+
+    def test_evaluate_rankings_shape_check(self, rng):
+        with pytest.raises(ValueError):
+            evaluate_rankings(rng.random((4, 4)), rng.random((5, 5)))
+
+    def test_scores_in_unit_interval(self, rng):
+        gt = rng.random((10, 10))
+        pred = rng.random((10, 10))
+        out = evaluate_rankings(gt + gt.T, pred + pred.T, hr_ks=(3,), recall=(3, 5))
+        assert all(0.0 <= v <= 1.0 for v in out.values())
+
+
+class TestEfficiencyTimers:
+    def test_time_exact_metric_positive(self, toy_trajectories):
+        assert time_exact_metric(toy_trajectories, "hausdorff") > 0
+
+    def test_time_encoding(self, toy_trajectories):
+        from repro.core import TMN, TMNConfig
+
+        model = TMN(TMNConfig(hidden_dim=8, sampling_number=4))
+        per_traj = time_encoding(model, toy_trajectories)
+        assert per_traj > 0
+
+    def test_time_encoding_needs_input(self):
+        from repro.core import TMN, TMNConfig
+
+        with pytest.raises(ValueError):
+            time_encoding(TMN(TMNConfig(hidden_dim=8, sampling_number=4)), [])
+
+    def test_time_vector_similarity(self, rng):
+        emb = rng.normal(size=(4, 16))
+        assert time_vector_similarity(emb, repeats=100) > 0
+
+    def test_time_vector_similarity_needs_two(self, rng):
+        with pytest.raises(ValueError):
+            time_vector_similarity(rng.normal(size=(1, 4)))

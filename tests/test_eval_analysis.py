@@ -1,0 +1,83 @@
+"""Tests for the approximation-quality analysis."""
+
+import numpy as np
+import pytest
+
+from repro.eval.analysis import ApproximationReport, approximation_report, spearman_per_query
+
+
+def symmetric(rng, n=10):
+    m = rng.random((n, n))
+    m = m + m.T
+    np.fill_diagonal(m, 0.0)
+    return m
+
+
+class TestApproximationReport:
+    def test_perfect_prediction(self, rng):
+        gt = symmetric(rng)
+        report = approximation_report(gt, gt.copy())
+        assert report.mae == pytest.approx(0.0)
+        assert report.spearman == pytest.approx(1.0)
+        assert report.mean_query_spearman == pytest.approx(1.0)
+
+    def test_scale_invariance(self, rng):
+        """Scaling the predicted matrix must not change the report —
+        embedding distances have arbitrary scale."""
+        gt = symmetric(rng)
+        a = approximation_report(gt, gt * 7.3)
+        assert a.mae == pytest.approx(0.0, abs=1e-12)
+        assert a.spearman == pytest.approx(1.0)
+
+    def test_reversed_ranking_negative_correlation(self, rng):
+        gt = symmetric(rng)
+        report = approximation_report(gt, gt.max() - gt)
+        assert report.spearman < -0.9
+
+    def test_random_prediction_worse_than_perfect(self, rng):
+        gt = symmetric(rng, 20)
+        noise = symmetric(rng, 20)
+        good = approximation_report(gt, gt + 0.01 * noise)
+        bad = approximation_report(gt, noise)
+        assert good.spearman > bad.spearman
+        assert good.mae < bad.mae
+
+    def test_as_dict(self, rng):
+        gt = symmetric(rng)
+        d = approximation_report(gt, gt).as_dict()
+        assert set(d) == {"MAE", "MRE", "Spearman", "QuerySpearman"}
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            approximation_report(rng.random((3, 3)), rng.random((4, 4)))
+        with pytest.raises(ValueError):
+            approximation_report(rng.random((3, 4)), rng.random((3, 4)))
+
+    def test_constant_matrix_handled(self):
+        gt = np.zeros((5, 5))
+        report = approximation_report(gt, gt)
+        assert report.mae == 0.0
+
+
+class TestSpearmanPerQuery:
+    def test_perfect(self, rng):
+        gt = symmetric(rng)
+        assert spearman_per_query(gt, gt * 2) == pytest.approx(1.0)
+
+    def test_needs_three(self, rng):
+        with pytest.raises(ValueError):
+            spearman_per_query(np.zeros((2, 2)), np.zeros((2, 2)))
+
+    def test_model_integration(self, rng):
+        """A trained model's per-query correlation must beat noise."""
+        from repro.core import TMN, TMNConfig, Trainer, pair_distance_matrix
+        from repro.metrics import pairwise_distance_matrix
+
+        trajs = [rng.normal(size=(int(rng.integers(8, 14)), 2)) for _ in range(14)]
+        gt = pairwise_distance_matrix(trajs, "hausdorff")
+        cfg = TMNConfig(hidden_dim=8, epochs=4, sampling_number=4, seed=0)
+        model = TMN(cfg)
+        Trainer(model, cfg, metric="hausdorff").fit(trajs, distances=gt)
+        pred = pair_distance_matrix(model, trajs)
+        noise = symmetric(rng, len(trajs))
+        assert spearman_per_query(gt, pred) > spearman_per_query(gt, noise)

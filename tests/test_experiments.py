@@ -1,0 +1,144 @@
+"""Tests for the experiment harness (corpus loading, runners, formatting)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    BENCH,
+    MODEL_NAMES,
+    PAPER,
+    SMOKE,
+    Scale,
+    build_model,
+    effectiveness_table,
+    efficiency_table,
+    format_effectiveness,
+    format_efficiency,
+    format_sweep,
+    load_corpus,
+    run_model,
+)
+
+
+class TestScale:
+    def test_presets_exist(self):
+        for scale in (SMOKE, BENCH, PAPER):
+            assert scale.train_size > 0
+            assert scale.hidden_dim % 2 == 0
+
+    def test_base_config_overrides(self):
+        cfg = SMOKE.base_config(epochs=99)
+        assert cfg["epochs"] == 99
+        assert cfg["hidden_dim"] == SMOKE.hidden_dim
+
+
+class TestBuildModel:
+    @pytest.mark.parametrize("name", MODEL_NAMES + ("TMN-kd", "TMN-noSub", "TMN-qerror"))
+    def test_all_names_build(self, name):
+        model, config = build_model(name, SMOKE, seed=1)
+        assert model.output_dim == SMOKE.hidden_dim
+        assert config.hidden_dim == SMOKE.hidden_dim
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            build_model("GPT", SMOKE)
+
+    def test_variant_flags(self):
+        _, nm = build_model("TMN-NM", SMOKE)
+        assert not nm.matching
+        _, kd = build_model("TMN-kd", SMOKE)
+        assert kd.sampler == "kdtree"
+        _, nosub = build_model("TMN-noSub", SMOKE)
+        assert not nosub.sub_loss
+        _, qe = build_model("TMN-qerror", SMOKE)
+        assert qe.loss == "qerror"
+
+
+class TestCorpus:
+    def test_load_corpus_sizes(self):
+        corpus = load_corpus("porto", SMOKE, seed=0)
+        assert len(corpus.train_points) == SMOKE.train_size
+        assert len(corpus.test_points) == SMOKE.test_size
+
+    def test_load_corpus_deterministic(self):
+        a = load_corpus("porto", SMOKE, seed=3)
+        b = load_corpus("porto", SMOKE, seed=3)
+        np.testing.assert_allclose(a.train_points[0], b.train_points[0])
+
+    def test_distance_caching(self):
+        corpus = load_corpus("porto", SMOKE, seed=0)
+        d1 = corpus.train_distances("hausdorff")
+        d2 = corpus.train_distances("hausdorff")
+        assert d1 is d2  # cached object, not recomputed
+
+    def test_geolife_kind(self):
+        corpus = load_corpus("geolife", SMOKE, seed=0)
+        assert corpus.kind == "geolife"
+
+
+class TestRunners:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return load_corpus("porto", SMOKE, seed=0)
+
+    def test_run_model_scores(self, corpus):
+        result = run_model("SRN", corpus, "hausdorff", SMOKE)
+        assert set(result.scores) == {"HR-5", "HR-10", "R5@10"}
+        assert all(0 <= v <= 1 for v in result.scores.values())
+        assert result.train_seconds_per_epoch > 0
+
+    def test_run_model_with_overrides(self, corpus):
+        result = run_model(
+            "SRN", corpus, "hausdorff", SMOKE, config_overrides={"epochs": 1}
+        )
+        assert result.model_name == "SRN"
+
+    def test_effectiveness_table_rows(self, corpus):
+        results = effectiveness_table(
+            corpus, ["hausdorff"], SMOKE, models=("SRN", "TMN")
+        )
+        assert [r.model_name for r in results] == ["SRN", "TMN"]
+
+    def test_efficiency_table_structure(self, corpus):
+        rows = efficiency_table(
+            corpus, SMOKE, exact_metrics=("hausdorff",), model_names=("SRN",)
+        )
+        assert rows[0]["method"] == "hausdorff"
+        assert rows[0]["training_s"] is None
+        assert rows[1]["method"] == "SRN"
+        assert rows[1]["training_s"] > 0
+
+
+class TestFormatting:
+    def test_format_effectiveness(self):
+        from repro.experiments import RunResult
+
+        results = [
+            RunResult("SRN", "dtw", "porto", {"HR-5": 0.5, "HR-10": 0.6, "R5@10": 0.7}, 1.0, 0.1),
+            RunResult("TMN", "dtw", "porto", {"HR-5": 0.9, "HR-10": 0.8, "R5@10": 0.9}, 1.0, 0.1),
+        ]
+        text = format_effectiveness(results, ["dtw"])
+        assert "DTW" in text
+        assert "TMN" in text
+        assert "0.9000*" in text  # best marker
+
+    def test_format_effectiveness_empty(self):
+        assert "no results" in format_effectiveness([], ["dtw"])
+
+    def test_format_efficiency(self):
+        rows = [
+            {"method": "dtw", "training_s": None, "inference_s": None, "computation_s": 1.5},
+            {"method": "SRN", "training_s": 2.0, "inference_s": 0.001, "computation_s": 1e-6},
+        ]
+        text = format_efficiency(rows)
+        assert "/" in text
+        assert "SRN" in text
+
+    def test_format_sweep(self):
+        text = format_sweep("dim sweep", [16, 32], [{"HR-5": 0.4}, {"HR-5": 0.6}])
+        assert "dim sweep" in text
+        assert "16" in text
+
+    def test_format_sweep_validation(self):
+        with pytest.raises(ValueError):
+            format_sweep("x", [1, 2], [{"a": 1.0}])

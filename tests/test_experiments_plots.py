@@ -1,0 +1,55 @@
+"""Tests for the ASCII figure renderers."""
+
+import pytest
+
+from repro.experiments.plots import ascii_bar_chart, ascii_line_chart
+
+
+class TestLineChart:
+    def test_contains_title_and_legend(self):
+        out = ascii_line_chart("Fig", [1, 2, 3], {"HR-10": [0.1, 0.5, 0.9]})
+        assert out.startswith("Fig")
+        assert "HR-10" in out
+
+    def test_extremes_annotated(self):
+        out = ascii_line_chart("t", [1, 2], {"a": [0.25, 0.75]})
+        assert "0.7500" in out
+        assert "0.2500" in out
+
+    def test_multiple_series_distinct_markers(self):
+        out = ascii_line_chart("t", [1, 2, 3], {"a": [1, 2, 3], "b": [3, 2, 1]})
+        assert "o = a" in out
+        assert "x = b" in out
+
+    def test_constant_series_no_crash(self):
+        out = ascii_line_chart("t", [1, 2], {"a": [0.5, 0.5]})
+        assert "0.5000" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_line_chart("t", [1, 2], {})
+        with pytest.raises(ValueError):
+            ascii_line_chart("t", [1, 2], {"a": [1.0]})
+        with pytest.raises(ValueError):
+            ascii_line_chart("t", [1], {"a": [1.0]})
+
+
+class TestBarChart:
+    def test_bars_scale_with_values(self):
+        out = ascii_bar_chart("t", ["small", "large"], [0.1, 1.0])
+        lines = out.splitlines()
+        assert lines[2].count("█") > lines[1].count("█")
+
+    def test_values_printed(self):
+        out = ascii_bar_chart("t", ["a"], [0.4321])
+        assert "0.4321" in out
+
+    def test_zero_value(self):
+        out = ascii_bar_chart("t", ["z"], [0.0])
+        assert "0.0000" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_bar_chart("t", ["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            ascii_bar_chart("t", [], [])

@@ -1,0 +1,85 @@
+"""Tests for experiment result summarisation."""
+
+import pytest
+
+from repro.experiments import RunResult
+from repro.experiments.summary import ablation_gap, summarize, winner_table
+
+
+def result(model, metric, hr10, dataset="porto"):
+    return RunResult(
+        model_name=model,
+        metric=metric,
+        dataset=dataset,
+        scores={"HR-5": hr10 - 0.1, "HR-10": hr10, "R5@10": hr10 + 0.1},
+        train_seconds_per_epoch=1.0,
+        final_loss=0.01,
+    )
+
+
+@pytest.fixture
+def results():
+    return [
+        result("SRN", "dtw", 0.5),
+        result("TMN", "dtw", 0.7),
+        result("TMN-NM", "dtw", 0.55),
+        result("SRN", "lcss", 0.6),
+        result("TMN", "lcss", 0.65),
+        result("TMN-NM", "lcss", 0.5),
+    ]
+
+
+class TestSummarize:
+    def test_winner_identified(self, results):
+        summaries = summarize(results)
+        by_metric = {s.metric: s for s in summaries}
+        assert by_metric["dtw"].winner == "TMN"
+        assert by_metric["dtw"].winner_score == pytest.approx(0.7)
+        assert by_metric["dtw"].runner_up == "TMN-NM"
+
+    def test_margin(self, results):
+        s = {x.metric: x for x in summarize(results)}["dtw"]
+        assert s.margin == pytest.approx(0.15)
+
+    def test_custom_score_key(self, results):
+        summaries = summarize(results, score_key="R5@10")
+        assert all(s.score_key == "R5@10" for s in summaries)
+
+    def test_single_model_block_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([result("TMN", "dtw", 0.5)])
+
+    def test_blocks_separated_by_dataset(self):
+        rows = [
+            result("A", "dtw", 0.5, dataset="porto"),
+            result("B", "dtw", 0.6, dataset="porto"),
+            result("A", "dtw", 0.9, dataset="geolife"),
+            result("B", "dtw", 0.2, dataset="geolife"),
+        ]
+        summaries = summarize(rows)
+        winners = {(s.metric, s.dataset): s.winner for s in summaries}
+        assert winners[("dtw", "porto")] == "B"
+        assert winners[("dtw", "geolife")] == "A"
+
+
+class TestWinnerTable:
+    def test_renders(self, results):
+        text = winner_table(results)
+        assert "TMN" in text
+        assert "dtw" in text
+        assert "margin" in text
+
+
+class TestAblationGap:
+    def test_positive_gaps(self, results):
+        gaps = ablation_gap(results)
+        assert gaps["dtw"] == pytest.approx(0.15)
+        assert gaps["lcss"] == pytest.approx(0.15)
+
+    def test_custom_models(self, results):
+        gaps = ablation_gap(results, full_model="TMN", ablated_model="SRN")
+        assert gaps["dtw"] == pytest.approx(0.2)
+
+    def test_missing_models_rejected(self, results):
+        with pytest.raises(ValueError):
+            ablation_gap(results, full_model="GPT", ablated_model="TMN")

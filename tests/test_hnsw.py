@@ -1,0 +1,104 @@
+"""Tests for the HNSW approximate nearest-neighbour index."""
+
+import numpy as np
+import pytest
+
+from repro.index import knn_brute
+from repro.index.hnsw import HNSWIndex
+
+
+@pytest.fixture
+def built(rng):
+    pts = rng.normal(size=(300, 8))
+    index = HNSWIndex(dim=8, m=8, ef_construction=64, seed=0)
+    index.add_batch(pts)
+    return index, pts
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HNSWIndex(dim=0)
+        with pytest.raises(ValueError):
+            HNSWIndex(dim=4, m=1)
+        with pytest.raises(ValueError):
+            HNSWIndex(dim=4, ef_construction=0)
+
+    def test_add_returns_sequential_ids(self, rng):
+        index = HNSWIndex(dim=3)
+        ids = index.add_batch(rng.normal(size=(5, 3)))
+        assert ids == [0, 1, 2, 3, 4]
+        assert len(index) == 5
+
+    def test_add_rejects_wrong_dim(self, rng):
+        index = HNSWIndex(dim=3)
+        with pytest.raises(ValueError):
+            index.add(rng.normal(size=4))
+
+    def test_query_empty_index(self):
+        with pytest.raises(RuntimeError):
+            HNSWIndex(dim=2).query(np.zeros(2))
+
+
+class TestSearchQuality:
+    def test_exact_on_indexed_point(self, built):
+        index, pts = built
+        d, i = index.query(pts[42], k=1)
+        assert i[0] == 42
+        assert d[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_high_recall_vs_brute_force(self, built, rng):
+        index, pts = built
+        queries = rng.normal(size=(30, 8))
+        hits = total = 0
+        for q in queries:
+            _, approx = index.query(q, k=10, ef=80)
+            _, exact = knn_brute(pts, q[None], 10)
+            hits += len(set(approx.tolist()) & set(exact[0].tolist()))
+            total += 10
+        assert hits / total >= 0.9  # approximate, but must be good
+
+    def test_distances_sorted(self, built, rng):
+        index, _ = built
+        d, _ = index.query(rng.normal(size=8), k=10)
+        assert np.all(np.diff(d) >= -1e-12)
+
+    def test_larger_ef_no_worse(self, built, rng):
+        index, pts = built
+        q = rng.normal(size=8)
+        _, exact = knn_brute(pts, q[None], 5)
+        exact = set(exact[0].tolist())
+
+        def recall(ef):
+            _, ids = index.query(q, k=5, ef=ef)
+            return len(set(ids.tolist()) & exact)
+
+        assert recall(200) >= recall(5)
+
+    def test_query_validation(self, built, rng):
+        index, _ = built
+        with pytest.raises(ValueError):
+            index.query(np.zeros(3), k=1)
+        with pytest.raises(ValueError):
+            index.query(np.zeros(8), k=0)
+
+    def test_single_element_index(self, rng):
+        index = HNSWIndex(dim=2)
+        index.add(np.array([1.0, 2.0]))
+        d, i = index.query(np.array([1.0, 2.0]), k=1)
+        assert i[0] == 0
+
+
+class TestIntegrationWithEmbeddings:
+    def test_trajectory_embedding_search(self, rng):
+        """HNSW over learned trajectory embeddings (the paper's use case)."""
+        from repro.core import TMN, TMNConfig
+
+        model = TMN(TMNConfig(hidden_dim=8, matching=False, sampling_number=4, seed=0))
+        trajs = [rng.normal(size=(6, 2)) for _ in range(50)]
+        emb = model.encode(trajs)
+        index = HNSWIndex(dim=8, m=6, seed=1)
+        index.add_batch(emb)
+        _, approx = index.query(emb[0], k=5, ef=50)
+        _, exact = knn_brute(emb, emb[0][None], 5)
+        assert len(set(approx.tolist()) & set(exact[0].tolist())) >= 3

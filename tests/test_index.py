@@ -1,0 +1,101 @@
+"""Tests for the k-d tree and brute-force indexes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index import BruteForceIndex, KDTree, knn_brute
+
+
+class TestKnnBrute:
+    def test_exactness_small(self, rng):
+        base = rng.normal(size=(20, 3))
+        queries = rng.normal(size=(5, 3))
+        dists, idx = knn_brute(base, queries, k=4)
+        for q in range(5):
+            full = np.linalg.norm(base - queries[q], axis=1)
+            expected = np.sort(full)[:4]
+            np.testing.assert_allclose(dists[q], expected, atol=1e-9)
+
+    def test_sorted_ascending(self, rng):
+        base = rng.normal(size=(30, 2))
+        dists, _ = knn_brute(base, rng.normal(size=(3, 2)), k=10)
+        assert np.all(np.diff(dists, axis=1) >= -1e-12)
+
+    def test_k_validation(self, rng):
+        base = rng.normal(size=(5, 2))
+        with pytest.raises(ValueError):
+            knn_brute(base, base, k=0)
+        with pytest.raises(ValueError):
+            knn_brute(base, base, k=6)
+
+
+class TestKDTree:
+    def test_matches_brute_force(self, rng):
+        pts = rng.normal(size=(200, 5))
+        tree = KDTree(pts, leaf_size=8)
+        queries = rng.normal(size=(10, 5))
+        td, ti = tree.query_batch(queries, k=7)
+        bd, bi = knn_brute(pts, queries, k=7)
+        np.testing.assert_allclose(td, bd, atol=1e-9)
+
+    def test_self_query_returns_self_first(self, rng):
+        pts = rng.normal(size=(50, 3))
+        tree = KDTree(pts)
+        d, i = tree.query(pts[17], k=1)
+        assert i[0] == 17
+        assert d[0] == pytest.approx(0.0)
+
+    @pytest.mark.parametrize("leaf_size", [1, 2, 16, 100])
+    def test_leaf_size_does_not_change_results(self, leaf_size, rng):
+        pts = rng.normal(size=(60, 2))
+        tree = KDTree(pts, leaf_size=leaf_size)
+        d, _ = tree.query(np.zeros(2), k=5)
+        ref, _ = knn_brute(pts, np.zeros((1, 2)), k=5)
+        np.testing.assert_allclose(d, ref[0], atol=1e-9)
+
+    def test_duplicate_points(self):
+        pts = np.zeros((10, 2))
+        tree = KDTree(pts)
+        d, i = tree.query(np.zeros(2), k=3)
+        np.testing.assert_allclose(d, np.zeros(3))
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            KDTree(np.zeros((0, 2)))
+        with pytest.raises(ValueError):
+            KDTree(np.zeros(5))
+        with pytest.raises(ValueError):
+            KDTree(np.zeros((5, 2)), leaf_size=0)
+        tree = KDTree(rng.normal(size=(5, 2)))
+        with pytest.raises(ValueError):
+            tree.query(np.zeros(3), k=1)
+        with pytest.raises(ValueError):
+            tree.query(np.zeros(2), k=6)
+
+
+class TestBruteForceIndex:
+    def test_query_matches_function(self, rng):
+        base = rng.normal(size=(30, 4))
+        index = BruteForceIndex(base)
+        q = rng.normal(size=4)
+        d, i = index.query(q, k=3)
+        ref_d, ref_i = knn_brute(base, q[None], 3)
+        np.testing.assert_allclose(d, ref_d[0])
+        np.testing.assert_array_equal(i, ref_i[0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BruteForceIndex(np.zeros((0, 3)))
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 100_000), st.integers(1, 8))
+def test_property_kdtree_equals_brute(seed, k):
+    rng = np.random.default_rng(seed)
+    pts = rng.normal(size=(40, 3))
+    q = rng.normal(size=(1, 3))
+    tree_d, _ = KDTree(pts, leaf_size=4).query(q[0], k=k)
+    brute_d, _ = knn_brute(pts, q, k=k)
+    np.testing.assert_allclose(tree_d, brute_d[0], atol=1e-9)

@@ -1,0 +1,71 @@
+"""Integration tests: the full paper pipeline end-to-end at tiny scale."""
+
+import numpy as np
+import pytest
+
+from repro.core import TMN, TMNConfig, Trainer, pair_distance_matrix
+from repro.eval import evaluate_rankings
+from repro.experiments import SMOKE, load_corpus
+from repro.metrics import pairwise_distance_matrix
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return load_corpus("porto", SMOKE, seed=1)
+
+
+class TestEndToEnd:
+    def test_training_beats_untrained(self, corpus):
+        """The central claim at miniature scale: a trained TMN ranks test
+        trajectories better than an untrained one."""
+        cfg = TMNConfig(
+            hidden_dim=16, epochs=8, sampling_number=6, batch_anchors=8, seed=0
+        )
+        gt = corpus.test_distances("hausdorff")
+
+        untrained = TMN(cfg)
+        untrained.eval()
+        before = evaluate_rankings(
+            gt, pair_distance_matrix(untrained, corpus.test_points), hr_ks=(5,), recall=(5, 10)
+        )
+
+        model = TMN(cfg)
+        Trainer(model, cfg, metric="hausdorff").fit(
+            corpus.train_points, distances=corpus.train_distances("hausdorff")
+        )
+        after = evaluate_rankings(
+            gt, pair_distance_matrix(model, corpus.test_points), hr_ks=(5,), recall=(5, 10)
+        )
+        assert after["HR-5"] > before["HR-5"]
+
+    def test_pipeline_all_metrics_smoke(self, corpus):
+        """Every supported metric must drive the full train/eval loop."""
+        cfg = TMNConfig(hidden_dim=8, epochs=1, sampling_number=4, batch_anchors=16, seed=0)
+        for metric in ("dtw", "frechet", "hausdorff", "erp", "edr", "lcss"):
+            model = TMN(cfg)
+            history = Trainer(model, cfg, metric=metric).fit(
+                corpus.train_points, distances=corpus.train_distances(metric)
+            )
+            assert np.isfinite(history.final_loss), metric
+
+    def test_full_reproducibility(self, corpus):
+        """Same seed, same corpus -> identical evaluation scores."""
+
+        def run():
+            cfg = TMNConfig(hidden_dim=8, epochs=2, sampling_number=4, seed=7)
+            model = TMN(cfg)
+            Trainer(model, cfg, metric="hausdorff").fit(
+                corpus.train_points, distances=corpus.train_distances("hausdorff")
+            )
+            pred = pair_distance_matrix(model, corpus.test_points[:15])
+            return evaluate_rankings(
+                corpus.test_distances("hausdorff")[:15, :15], pred, hr_ks=(3,), recall=(3, 5)
+            )
+
+        assert run() == run()
+
+    def test_ground_truth_matrices_consistent(self, corpus):
+        """The cached corpus matrices must equal fresh computation."""
+        fresh = pairwise_distance_matrix(corpus.test_points[:10], "dtw")
+        cached = corpus.test_distances("dtw")[:10, :10]
+        np.testing.assert_allclose(fresh, cached)

@@ -1,0 +1,82 @@
+"""Tests for model and dataset persistence."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import SRN, NeuTraj, T3S, Traj2SimVec
+from repro.core import TMN, TMNConfig
+from repro.data import Trajectory, TrajectoryDataset, make_dataset
+from repro.io import load_dataset, load_model, save_dataset, save_model
+
+
+def small_config(**overrides):
+    defaults = dict(hidden_dim=8, epochs=1, sampling_number=4, seed=3)
+    defaults.update(overrides)
+    return TMNConfig(**defaults)
+
+
+class TestModelRoundtrip:
+    @pytest.mark.parametrize("cls", [TMN, SRN, T3S, Traj2SimVec])
+    def test_roundtrip_preserves_outputs(self, cls, tmp_path, rng):
+        model = cls(small_config())
+        save_model(model, tmp_path / "ckpt")
+        restored = load_model(tmp_path / "ckpt")
+        trajs = [rng.normal(size=(5, 2))]
+        model.eval()
+        restored.eval()
+        a, _ = model.embed_pair(trajs, trajs)
+        b, _ = restored.embed_pair(trajs, trajs)
+        np.testing.assert_allclose(a.data, b.data)
+
+    def test_neutraj_roundtrip_weights(self, tmp_path, rng):
+        model = NeuTraj(small_config())
+        save_model(model, tmp_path / "nt")
+        restored = load_model(tmp_path / "nt")
+        for (na, pa), (nb, pb) in zip(
+            model.named_parameters(), restored.named_parameters()
+        ):
+            assert na == nb
+            np.testing.assert_allclose(pa.data, pb.data)
+
+    def test_config_restored(self, tmp_path):
+        cfg = small_config(matching=False, loss="qerror")
+        save_model(TMN(cfg), tmp_path / "m")
+        restored = load_model(tmp_path / "m")
+        assert restored.config == cfg
+
+    def test_unknown_class_rejected(self, tmp_path):
+        class Fake(TMN):
+            pass
+
+        with pytest.raises(KeyError):
+            save_model(Fake(small_config()), tmp_path / "x")
+
+    def test_load_unknown_class_rejected(self, tmp_path):
+        save_model(TMN(small_config()), tmp_path / "m")
+        meta = (tmp_path / "m.json").read_text().replace("TMN", "Unknown")
+        (tmp_path / "m.json").write_text(meta)
+        with pytest.raises(KeyError):
+            load_model(tmp_path / "m")
+
+
+class TestDatasetRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        ds = make_dataset("porto", 6, seed=2)
+        save_dataset(ds, tmp_path / "porto")
+        restored = load_dataset(tmp_path / "porto")
+        assert len(restored) == len(ds)
+        assert restored.name == ds.name
+        for a, b in zip(ds, restored):
+            np.testing.assert_allclose(a.points, b.points)
+            np.testing.assert_allclose(a.timestamps, b.timestamps)
+            assert a.traj_id == b.traj_id
+
+    def test_roundtrip_without_timestamps(self, tmp_path, rng):
+        ds = TrajectoryDataset([Trajectory(rng.normal(size=(4, 2)))], name="raw")
+        restored = load_dataset(save_dataset(ds, tmp_path / "raw"))
+        assert restored[0].timestamps is None
+
+    def test_meta_preserved(self, tmp_path):
+        ds = make_dataset("geolife", 3, seed=1)
+        restored = load_dataset(save_dataset(ds, tmp_path / "g"))
+        assert restored.meta["kind"] == "geolife"

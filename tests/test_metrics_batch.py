@@ -1,0 +1,172 @@
+"""Tests for the batched DP engines and distance-matrix builders."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    METRIC_NAMES,
+    MetricSpec,
+    cross_distance_matrix,
+    get_metric,
+    pad_trajectories,
+    pairwise_distance_matrix,
+)
+from repro.metrics._dp import dtw_batch, edr_batch, erp_batch, frechet_batch, lcss_batch
+from repro.metrics.point import cross_dist
+
+
+def make_trajs(rng, n, max_len=14):
+    return [rng.normal(size=(int(rng.integers(2, max_len)), 2)) for _ in range(n)]
+
+
+class TestBatchEngines:
+    def test_batch_matches_scalar_for_every_metric(self, rng):
+        trajs = make_trajs(rng, 8)
+        stacked, lengths = pad_trajectories(trajs)
+        idx_a = np.array([0, 1, 2, 3])
+        idx_b = np.array([4, 5, 6, 7])
+        for name in METRIC_NAMES:
+            spec = get_metric(name)
+            batch = spec.batch(stacked[idx_a], stacked[idx_b], lengths[idx_a], lengths[idx_b])
+            for row, (i, j) in enumerate(zip(idx_a, idx_b)):
+                assert batch[row] == pytest.approx(spec(trajs[i], trajs[j])), name
+
+    def test_padding_values_are_irrelevant(self, rng):
+        """The DP read-out must not depend on what lies beyond the true
+        lengths — the core guarantee that makes shared padding sound."""
+        a = rng.normal(size=(5, 2))
+        b = rng.normal(size=(4, 2))
+        for pad_value in (0.0, 123.0, -7.5):
+            pa = np.full((1, 9, 2), pad_value)
+            pb = np.full((1, 9, 2), pad_value)
+            pa[0, :5] = a
+            pb[0, :4] = b
+            cost = np.sqrt(((pa[:, :, None, :] - pb[:, None, :, :]) ** 2).sum(-1))
+            got = dtw_batch(cost, np.array([5]), np.array([4]))[0]
+            expected = dtw_batch(
+                cross_dist(a, b)[None], np.array([5]), np.array([4])
+            )[0]
+            assert got == pytest.approx(expected)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            dtw_batch(np.zeros((2, 3)), np.array([1]), np.array([1]))
+        with pytest.raises(ValueError):
+            dtw_batch(np.zeros((1, 3, 3)), np.array([0]), np.array([1]))
+        with pytest.raises(ValueError):
+            dtw_batch(np.zeros((1, 3, 3)), np.array([4]), np.array([1]))
+        with pytest.raises(ValueError):
+            dtw_batch(np.zeros((1, 3, 3)), np.array([1, 2]), np.array([1]))
+
+    def test_erp_gap_shape_validation(self):
+        cost = np.zeros((1, 3, 3))
+        with pytest.raises(ValueError):
+            erp_batch(cost, np.zeros((1, 4)), np.zeros((1, 3)), np.array([3]), np.array([3]))
+
+    def test_single_point_trajectories(self, rng):
+        a = rng.normal(size=(1, 2))
+        b = rng.normal(size=(1, 2))
+        cost = cross_dist(a, b)[None]
+        ones = np.array([1])
+        gap = np.linalg.norm
+        assert dtw_batch(cost, ones, ones)[0] == pytest.approx(np.linalg.norm(a[0] - b[0]))
+        assert frechet_batch(cost, ones, ones)[0] == pytest.approx(np.linalg.norm(a[0] - b[0]))
+        match = cost <= 0.5
+        assert edr_batch(match, ones, ones)[0] in (0.0, 1.0)
+        assert lcss_batch(match, ones, ones)[0] in (0.0, 1.0)
+
+    def test_mixed_lengths_in_one_batch(self, rng):
+        trajs = [rng.normal(size=(k, 2)) for k in (1, 3, 9, 9, 2)]
+        stacked, lengths = pad_trajectories(trajs)
+        spec = get_metric("dtw")
+        ia = np.array([0, 1, 2])
+        ib = np.array([3, 4, 0])
+        out = spec.batch(stacked[ia], stacked[ib], lengths[ia], lengths[ib])
+        for row, (i, j) in enumerate(zip(ia, ib)):
+            assert out[row] == pytest.approx(spec(trajs[i], trajs[j]))
+
+
+class TestPadTrajectories:
+    def test_shapes_and_lengths(self, rng):
+        trajs = make_trajs(rng, 5)
+        stacked, lengths = pad_trajectories(trajs)
+        assert stacked.shape == (5, lengths.max(), 2)
+        for i, t in enumerate(trajs):
+            np.testing.assert_allclose(stacked[i, : len(t)], t)
+            np.testing.assert_allclose(stacked[i, len(t) :], 0.0)
+
+    def test_rejects_empty_collection(self):
+        with pytest.raises(ValueError):
+            pad_trajectories([])
+
+
+class TestPairwiseMatrix:
+    @pytest.mark.parametrize("name", METRIC_NAMES)
+    def test_matrix_properties(self, name, rng):
+        trajs = make_trajs(rng, 10)
+        mat = pairwise_distance_matrix(trajs, name)
+        assert mat.shape == (10, 10)
+        np.testing.assert_allclose(mat, mat.T)
+        np.testing.assert_allclose(np.diag(mat), np.zeros(10))
+        spec = get_metric(name)
+        assert mat[2, 7] == pytest.approx(spec(trajs[2], trajs[7]))
+
+    def test_chunking_invariance(self, rng):
+        trajs = make_trajs(rng, 9)
+        a = pairwise_distance_matrix(trajs, "dtw", chunk_size=3)
+        b = pairwise_distance_matrix(trajs, "dtw", chunk_size=1000)
+        np.testing.assert_allclose(a, b)
+
+    def test_accepts_metric_spec(self, rng):
+        trajs = make_trajs(rng, 4)
+        spec = get_metric("edr", eps=0.7)
+        mat = pairwise_distance_matrix(trajs, spec)
+        assert mat[0, 1] == pytest.approx(spec(trajs[0], trajs[1]))
+
+    def test_eps_parameter_forwarded(self, rng):
+        trajs = make_trajs(rng, 4)
+        loose = pairwise_distance_matrix(trajs, "edr", eps=10.0)
+        tight = pairwise_distance_matrix(trajs, "edr", eps=1e-6)
+        assert loose.sum() <= tight.sum()
+
+
+class TestCrossMatrix:
+    def test_values_match_scalar(self, rng):
+        queries = make_trajs(rng, 3)
+        base = make_trajs(rng, 5)
+        mat = cross_distance_matrix(queries, base, "frechet")
+        spec = get_metric("frechet")
+        assert mat.shape == (3, 5)
+        assert mat[1, 4] == pytest.approx(spec(queries[1], base[4]))
+
+    def test_chunking_invariance(self, rng):
+        queries = make_trajs(rng, 4)
+        base = make_trajs(rng, 4)
+        a = cross_distance_matrix(queries, base, "dtw", chunk_size=2)
+        b = cross_distance_matrix(queries, base, "dtw", chunk_size=100)
+        np.testing.assert_allclose(a, b)
+
+
+class TestRegistry:
+    def test_all_names_resolve(self):
+        for name in METRIC_NAMES:
+            spec = get_metric(name)
+            assert isinstance(spec, MetricSpec)
+            assert spec.name == name
+
+    def test_case_insensitive(self):
+        assert get_metric("DTW").name == "dtw"
+
+    def test_unknown_metric(self):
+        with pytest.raises(KeyError):
+            get_metric("manhattan")
+
+    def test_spec_is_callable(self, rng):
+        spec = get_metric("hausdorff")
+        a, b = rng.normal(size=(3, 2)), rng.normal(size=(4, 2))
+        assert spec(a, b) == pytest.approx(spec.scalar(a, b))
+
+    def test_params_recorded(self):
+        assert get_metric("edr", eps=0.9).params["eps"] == 0.9
+        assert get_metric("erp", gap=(1.0, 2.0)).params["gap"] == (1.0, 2.0)
+        assert get_metric("lcss").params["eps"] > 0

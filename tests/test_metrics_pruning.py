@@ -1,0 +1,94 @@
+"""Tests for lower-bound pruned exact DTW search."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import dtw
+from repro.metrics.pruning import lb_kim, lb_pointwise, pruned_dtw_topk
+
+
+def random_pair(rng, max_len=12):
+    a = rng.normal(size=(int(rng.integers(2, max_len)), 2))
+    b = rng.normal(size=(int(rng.integers(2, max_len)), 2))
+    return a, b
+
+
+class TestLowerBounds:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_lb_kim_admissible(self, seed):
+        a, b = random_pair(np.random.default_rng(seed))
+        assert lb_kim(a, b) <= dtw(a, b) + 1e-9
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_lb_pointwise_admissible(self, seed):
+        a, b = random_pair(np.random.default_rng(seed))
+        assert lb_pointwise(a, b) <= dtw(a, b) + 1e-9
+
+    def test_lb_pointwise_tight_for_identical(self, rng):
+        a = rng.normal(size=(6, 2))
+        assert lb_pointwise(a, a) == pytest.approx(0.0)
+        assert dtw(a, a) == pytest.approx(0.0)
+
+    def test_single_point_pair(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[3.0, 4.0]])
+        assert lb_kim(a, b) == pytest.approx(5.0)
+        assert dtw(a, b) == pytest.approx(5.0)
+
+
+class TestPrunedSearch:
+    def make_db(self, rng, n=30):
+        return [rng.normal(size=(int(rng.integers(4, 14)), 2)) for _ in range(n)]
+
+    def brute_topk(self, query, db, k):
+        dists = [dtw(query, t) for t in db]
+        return sorted(range(len(db)), key=lambda i: dists[i])[:k]
+
+    @pytest.mark.parametrize("k", [1, 3, 7])
+    def test_matches_brute_force(self, k, rng):
+        db = self.make_db(rng)
+        query = rng.normal(size=(8, 2))
+        pruned, stats = pruned_dtw_topk(query, db, k)
+        brute = self.brute_topk(query, db, k)
+        # Compare by distance values (ties may reorder indices).
+        got = sorted(dtw(query, db[i]) for i in pruned)
+        want = sorted(dtw(query, db[i]) for i in brute)
+        np.testing.assert_allclose(got, want, atol=1e-9)
+
+    def test_pruning_happens_with_clusters(self, rng):
+        """A query near one cluster must prune most of a far cluster."""
+        near = [rng.normal(size=(8, 2)) * 0.2 for _ in range(15)]
+        far = [rng.normal(size=(8, 2)) * 0.2 + 50.0 for _ in range(15)]
+        query = rng.normal(size=(8, 2)) * 0.2
+        _, stats = pruned_dtw_topk(query, near + far, k=5)
+        assert stats.prune_rate > 0.3
+        assert stats.pruned_by_kim + stats.pruned_by_pointwise > 0
+
+    def test_stats_accounting(self, rng):
+        db = self.make_db(rng, n=20)
+        _, stats = pruned_dtw_topk(rng.normal(size=(6, 2)), db, k=3)
+        assert stats.candidates == 20
+        assert (
+            stats.dtw_evaluations + stats.pruned_by_kim + stats.pruned_by_pointwise
+            == 20
+        )
+        assert 0.0 <= stats.prune_rate <= 1.0
+
+    def test_k_validation(self, rng):
+        db = self.make_db(rng, n=5)
+        with pytest.raises(ValueError):
+            pruned_dtw_topk(db[0], db, k=0)
+        with pytest.raises(ValueError):
+            pruned_dtw_topk(db[0], db, k=6)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 10_000))
+def test_property_bounds_admissible(seed):
+    rng = np.random.default_rng(seed)
+    a, b = random_pair(rng, max_len=8)
+    exact = dtw(a, b)
+    assert lb_kim(a, b) <= exact + 1e-9
+    assert lb_pointwise(a, b) <= exact + 1e-9

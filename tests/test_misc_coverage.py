@@ -1,0 +1,101 @@
+"""Additional coverage: positional encodings, JSON meta coercion, combined
+config variants, dataset metadata propagation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.baselines.t3s import _sinusoidal_table
+from repro.core import TMN, TMNConfig, Trainer
+from repro.data import TrajectoryDataset, Trajectory, make_dataset
+from repro.io import _json_safe, save_dataset
+
+
+class TestSinusoidalTable:
+    def test_shape(self):
+        assert _sinusoidal_table(10, 8).shape == (10, 8)
+
+    def test_first_row_is_sin_cos_of_zero(self):
+        table = _sinusoidal_table(4, 6)
+        np.testing.assert_allclose(table[0, 0::2], 0.0)  # sin(0)
+        np.testing.assert_allclose(table[0, 1::2], 1.0)  # cos(0)
+
+    def test_values_bounded(self):
+        table = _sinusoidal_table(50, 16)
+        assert np.all(np.abs(table) <= 1.0)
+
+    def test_rows_distinct(self):
+        table = _sinusoidal_table(20, 8)
+        assert not np.allclose(table[1], table[2])
+
+    def test_odd_dimension(self):
+        table = _sinusoidal_table(5, 7)
+        assert table.shape == (5, 7)
+
+
+class TestJsonSafe:
+    def test_numpy_scalars_coerced(self):
+        out = _json_safe({"a": np.float64(1.5), "b": np.int64(2)})
+        json.dumps(out)  # must not raise
+        assert out == {"a": 1.5, "b": 2}
+
+    def test_nested_containers(self):
+        out = _json_safe({"l": [np.int32(1), (np.float32(2.0),)]})
+        json.dumps(out)
+        assert out["l"][0] == 1
+
+    def test_passthrough_plain_types(self):
+        assert _json_safe({"x": "y", "z": 3}) == {"x": "y", "z": 3}
+
+    def test_dataset_meta_with_numpy_values_saves(self, tmp_path, rng):
+        ds = TrajectoryDataset(
+            [Trajectory(rng.normal(size=(3, 2)))],
+            meta={"scale": np.float64(2.0)},
+        )
+        save_dataset(ds, tmp_path / "d")  # must not raise on json.dumps
+
+
+class TestCombinedConfigVariants:
+    def test_gru_kdtree_qerror_all_together(self, rng):
+        """The exotic corner: every non-default option at once."""
+        trajs = [rng.normal(size=(int(rng.integers(8, 14)), 2)) for _ in range(10)]
+        cfg = TMNConfig(
+            hidden_dim=8,
+            epochs=1,
+            sampling_number=4,
+            backbone="gru",
+            sampler="kdtree",
+            kd_neighbors=2,
+            loss="qerror",
+            sub_loss=True,
+            sub_stride=5,
+            patience=5,
+            seed=0,
+        )
+        history = Trainer(TMN(cfg), cfg, metric="lcss").fit(trajs)
+        assert np.isfinite(history.final_loss)
+
+    def test_matching_off_with_gru(self, rng):
+        cfg = TMNConfig(
+            hidden_dim=8, sampling_number=4, matching=False, backbone="gru", seed=0
+        )
+        model = TMN(cfg)
+        trajs = [rng.normal(size=(5, 2))]
+        emb, _ = model.embed_pair(trajs, trajs)
+        assert emb.shape == (1, 8)
+        assert not model.requires_pair_interaction
+
+
+class TestDatasetMetadata:
+    def test_split_preserves_meta_and_names(self):
+        ds = make_dataset("porto", 20, seed=0)
+        train, test = ds.split(0.5, rng=np.random.default_rng(0))
+        assert train.meta["kind"] == "porto"
+        assert train.name.endswith("-train")
+        assert test.name.endswith("-test")
+
+    def test_indexing_preserves_meta(self):
+        ds = make_dataset("geolife", 10, seed=0)
+        subset = ds[:4]
+        assert subset.meta["kind"] == "geolife"

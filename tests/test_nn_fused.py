@@ -1,0 +1,82 @@
+"""Validation of the fused LSTM step against the composed reference."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, check_gradients
+from repro.nn import LSTM, LSTMCell, gather_last
+from repro.nn.fused import fused_lstm_step
+
+
+@pytest.fixture
+def cell(rng):
+    return LSTMCell(3, 4, rng=rng)
+
+
+def make_state(rng, batch=2, hidden=4):
+    return (
+        Tensor(rng.normal(size=(batch, 3))),
+        Tensor(rng.normal(size=(batch, hidden))),
+        Tensor(rng.normal(size=(batch, hidden))),
+    )
+
+
+class TestFusedMatchesComposed:
+    def test_forward_values(self, cell, rng):
+        x, h, c = make_state(rng)
+        h_fused, c_fused = cell(x, (h, c))
+        h_ref, c_ref = cell.forward_composed(x, (h, c))
+        np.testing.assert_allclose(h_fused.data, h_ref.data, atol=1e-12)
+        np.testing.assert_allclose(c_fused.data, c_ref.data, atol=1e-12)
+
+    def test_gradients_match_composed(self, cell, rng):
+        x_raw = rng.normal(size=(2, 3))
+        h_raw = rng.normal(size=(2, 4))
+        c_raw = rng.normal(size=(2, 4))
+        # Deterministic downstream weighting mixing both outputs.
+        w_h = rng.normal(size=(2, 4))
+        w_c = rng.normal(size=(2, 4))
+
+        def run(step_fn):
+            cell.zero_grad()
+            x = Tensor(x_raw, requires_grad=True)
+            h = Tensor(h_raw, requires_grad=True)
+            c = Tensor(c_raw, requires_grad=True)
+            h2, c2 = step_fn(x, (h, c))
+            loss = (h2 * Tensor(w_h)).sum() + (c2 * Tensor(w_c) * h2).sum()
+            loss.backward()
+            return (
+                x.grad.copy(),
+                h.grad.copy(),
+                c.grad.copy(),
+                cell.weight_ih.grad.copy(),
+                cell.weight_hh.grad.copy(),
+                cell.bias.grad.copy(),
+            )
+
+        fused = run(cell)
+        composed = run(cell.forward_composed)
+        for a, b in zip(fused, composed):
+            np.testing.assert_allclose(a, b, atol=1e-10)
+
+    def test_gradcheck_all_inputs(self, rng):
+        x = rng.normal(size=(2, 3))
+        h = rng.normal(size=(2, 4))
+        c = rng.normal(size=(2, 4))
+        w_ih = rng.normal(size=(3, 16)) * 0.3
+        w_hh = rng.normal(size=(4, 16)) * 0.3
+        b = rng.normal(size=16) * 0.1
+
+        def fn(xt, ht, ct, wi, wh, bt):
+            h2, c2 = fused_lstm_step(xt, ht, ct, wi, wh, bt)
+            return h2 * h2 + c2
+        check_gradients(fn, [x, h, c, w_ih, w_hh, b], atol=1e-4)
+
+    def test_full_lstm_uses_fused_and_trains(self, rng):
+        lstm = LSTM(2, 4, rng=rng)
+        x = Tensor(rng.normal(size=(3, 5, 2)))
+        mask = np.ones((3, 5), bool)
+        out, _ = lstm(x, mask=mask)
+        gather_last(out, np.array([5, 5, 5])).sum().backward()
+        for name, p in lstm.named_parameters():
+            assert p.grad is not None, name

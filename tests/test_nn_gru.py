@@ -1,0 +1,103 @@
+"""Tests for the GRU backbone and the backbone ablation plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, check_gradients
+from repro.core import TMN, TMNConfig, Trainer
+from repro.nn import GRU, GRUCell, gather_last
+
+
+class TestGRUCell:
+    def test_step_shape(self, rng):
+        cell = GRUCell(3, 5, rng=rng)
+        h = cell(Tensor(np.ones((2, 3))), Tensor(np.zeros((2, 5))))
+        assert h.shape == (2, 5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GRUCell(0, 5)
+
+    def test_update_gate_interpolates(self, rng):
+        """With z forced to 1 the state must be carried unchanged."""
+        cell = GRUCell(2, 3, rng=rng)
+        cell.bias.data[3:] = 100.0  # saturate update gate towards h_prev
+        h_prev = Tensor(rng.normal(size=(1, 3)))
+        h = cell(Tensor(rng.normal(size=(1, 2))), h_prev)
+        np.testing.assert_allclose(h.data, h_prev.data, atol=1e-3)
+
+
+class TestGRU:
+    def test_output_shapes(self, rng):
+        gru = GRU(3, 4, rng=rng)
+        out, h = gru(Tensor(rng.normal(size=(2, 6, 3))))
+        assert out.shape == (2, 6, 4)
+        assert h.shape == (2, 4)
+
+    def test_rejects_2d(self, rng):
+        with pytest.raises(ValueError):
+            GRU(3, 4, rng=rng)(Tensor(np.ones((4, 3))))
+
+    def test_mask_carries_state(self, rng):
+        gru = GRU(3, 4, rng=rng)
+        x = rng.normal(size=(1, 5, 3))
+        mask = np.array([[True, True, False, False, False]])
+        out, h = gru(Tensor(x), mask=mask)
+        np.testing.assert_allclose(out.data[0, 4], out.data[0, 1])
+        np.testing.assert_allclose(h.data[0], out.data[0, 1])
+
+    def test_gradcheck(self, rng):
+        gru = GRU(2, 3, rng=rng)
+        x = rng.normal(size=(2, 3, 2))
+        mask = np.array([[1, 1, 0], [1, 1, 1]], bool)
+
+        def run(t):
+            out, _ = gru(t, mask=mask)
+            return gather_last(out, np.array([2, 3]))
+
+        check_gradients(run, [x], atol=1e-4)
+
+    def test_parameters_trainable(self, rng):
+        gru = GRU(2, 3, rng=rng)
+        out, _ = gru(Tensor(rng.normal(size=(2, 4, 2))))
+        out.sum().backward()
+        for name, p in gru.named_parameters():
+            assert p.grad is not None, name
+
+
+class TestBackboneAblation:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TMNConfig(backbone="rnn")
+
+    def test_tmn_with_gru_trains(self, rng):
+        trajs = [rng.normal(size=(int(rng.integers(8, 14)), 2)) for _ in range(10)]
+        cfg = TMNConfig(
+            hidden_dim=8, epochs=1, sampling_number=4, backbone="gru", seed=0
+        )
+        model = TMN(cfg)
+        history = Trainer(model, cfg, metric="hausdorff").fit(trajs)
+        assert np.isfinite(history.final_loss)
+
+    def test_gru_and_lstm_differ(self, rng):
+        trajs = [rng.normal(size=(6, 2))]
+        base = dict(hidden_dim=8, sampling_number=4, seed=0)
+        lstm_model = TMN(TMNConfig(backbone="lstm", **base))
+        gru_model = TMN(TMNConfig(backbone="gru", **base))
+        a, _ = lstm_model.embed_pair(trajs, trajs)
+        b, _ = gru_model.embed_pair(trajs, trajs)
+        assert not np.allclose(a.data, b.data)
+
+    def test_neutraj_rejects_gru(self):
+        from repro.baselines import NeuTraj
+
+        with pytest.raises(ValueError, match="LSTM backbone"):
+            NeuTraj(TMNConfig(hidden_dim=8, sampling_number=4, backbone="gru"))
+
+    def test_srn_with_gru(self, rng):
+        from repro.baselines import SRN
+
+        model = SRN(TMNConfig(hidden_dim=8, sampling_number=4, backbone="gru"))
+        trajs = [rng.normal(size=(5, 2))]
+        emb, _ = model.embed_pair(trajs, trajs)
+        assert emb.shape == (1, 8)

@@ -1,0 +1,129 @@
+"""Tests for Linear, MLP, activations and initialisers."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, check_gradients
+from repro.nn import MLP, LeakyReLU, Linear, ReLU, Sigmoid, Tanh
+from repro.nn import init as nn_init
+
+
+class TestLinear:
+    def test_output_shape(self, rng):
+        layer = Linear(4, 7, rng=rng)
+        assert layer(Tensor(np.ones((3, 4)))).shape == (3, 7)
+
+    def test_broadcasts_over_leading_axes(self, rng):
+        layer = Linear(4, 7, rng=rng)
+        assert layer(Tensor(np.ones((2, 5, 4)))).shape == (2, 5, 7)
+
+    def test_no_bias(self, rng):
+        layer = Linear(4, 2, bias=False, rng=rng)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+        out = layer(Tensor(np.zeros((1, 4))))
+        np.testing.assert_allclose(out.data, np.zeros((1, 2)))
+
+    def test_affine_math(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        x = rng.normal(size=(5, 3))
+        expected = x @ layer.weight.data + layer.bias.data
+        np.testing.assert_allclose(layer(Tensor(x)).data, expected)
+
+    def test_deterministic_given_rng(self):
+        a = Linear(3, 3, rng=np.random.default_rng(1))
+        b = Linear(3, 3, rng=np.random.default_rng(1))
+        np.testing.assert_allclose(a.weight.data, b.weight.data)
+
+    def test_rejects_nonpositive_sizes(self):
+        with pytest.raises(ValueError):
+            Linear(0, 3)
+        with pytest.raises(ValueError):
+            Linear(3, -1)
+
+    def test_gradients_flow_to_weights(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        layer(Tensor(rng.normal(size=(4, 3)))).sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+    def test_repr(self, rng):
+        assert "Linear(in=3, out=2" in repr(Linear(3, 2, rng=rng))
+
+
+class TestMLP:
+    def test_depth_and_shapes(self, rng):
+        mlp = MLP([4, 8, 8, 2], rng=rng)
+        assert len(mlp.linears) == 3
+        assert mlp(Tensor(np.ones((5, 4)))).shape == (5, 2)
+
+    def test_final_activation_flag(self, rng):
+        mlp = MLP([2, 2], activation=ReLU(), final_activation=True, rng=rng)
+        out = mlp(Tensor(-100 * np.ones((1, 2))))
+        assert np.all(out.data >= 0)
+
+    def test_rejects_short_size_list(self):
+        with pytest.raises(ValueError):
+            MLP([4])
+
+    def test_three_d_input(self, rng):
+        mlp = MLP([4, 4, 4], rng=rng)
+        assert mlp(Tensor(np.ones((2, 6, 4)))).shape == (2, 6, 4)
+
+    def test_gradcheck(self, rng):
+        mlp = MLP([3, 5, 2], rng=rng)
+        x = rng.normal(size=(4, 3))
+        check_gradients(lambda t: mlp(t), [x], atol=1e-4)
+
+
+class TestActivations:
+    @pytest.mark.parametrize(
+        "act,fn",
+        [
+            (ReLU(), lambda x: np.maximum(x, 0)),
+            (Tanh(), np.tanh),
+            (Sigmoid(), lambda x: 1 / (1 + np.exp(-x))),
+            (LeakyReLU(0.1), lambda x: np.where(x >= 0, x, 0.1 * x)),
+        ],
+    )
+    def test_values(self, act, fn, rng):
+        x = rng.normal(size=(3, 4))
+        np.testing.assert_allclose(act(Tensor(x)).data, fn(x))
+
+    def test_activation_has_no_parameters(self):
+        assert LeakyReLU().parameters() == []
+
+
+class TestInit:
+    def test_xavier_uniform_bound(self, rng):
+        w = nn_init.xavier_uniform((100, 100), rng)
+        bound = np.sqrt(6.0 / 200)
+        assert np.all(np.abs(w) <= bound)
+
+    def test_xavier_normal_std(self, rng):
+        w = nn_init.xavier_normal((200, 200), rng)
+        assert w.std() == pytest.approx(np.sqrt(2.0 / 400), rel=0.15)
+
+    def test_orthogonal_columns(self, rng):
+        w = nn_init.orthogonal((8, 8), rng)
+        np.testing.assert_allclose(w @ w.T, np.eye(8), atol=1e-10)
+
+    def test_orthogonal_rectangular(self, rng):
+        w = nn_init.orthogonal((4, 8), rng)
+        np.testing.assert_allclose(w @ w.T, np.eye(4), atol=1e-10)
+        w2 = nn_init.orthogonal((8, 4), rng)
+        np.testing.assert_allclose(w2.T @ w2, np.eye(4), atol=1e-10)
+
+    def test_uniform_bound(self, rng):
+        w = nn_init.uniform((50,), rng, 0.3)
+        assert np.all(np.abs(w) <= 0.3)
+
+    def test_zeros(self):
+        np.testing.assert_allclose(nn_init.zeros((2, 3)), np.zeros((2, 3)))
+
+    def test_kaiming_shape(self, rng):
+        assert nn_init.kaiming_uniform((5, 7), rng).shape == (5, 7)
+
+    def test_fans_rejects_scalar(self, rng):
+        with pytest.raises(ValueError):
+            nn_init.xavier_uniform((), rng)

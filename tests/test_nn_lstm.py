@@ -1,0 +1,127 @@
+"""Tests for the batched, mask-aware LSTM."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, check_gradients
+from repro.nn import LSTM, LSTMCell, gather_last
+
+
+@pytest.fixture
+def lstm(rng):
+    return LSTM(3, 5, rng=rng)
+
+
+class TestLSTMCell:
+    def test_step_shapes(self, rng):
+        cell = LSTMCell(3, 5, rng=rng)
+        h = Tensor(np.zeros((2, 5)))
+        c = Tensor(np.zeros((2, 5)))
+        h2, c2 = cell(Tensor(np.ones((2, 3))), (h, c))
+        assert h2.shape == (2, 5)
+        assert c2.shape == (2, 5)
+
+    def test_forget_bias_initialised_to_one(self, rng):
+        cell = LSTMCell(3, 5, rng=rng)
+        np.testing.assert_allclose(cell.bias.data[5:10], np.ones(5))
+        np.testing.assert_allclose(cell.bias.data[:5], np.zeros(5))
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            LSTMCell(0, 5)
+        with pytest.raises(ValueError):
+            LSTMCell(5, 0)
+
+
+class TestLSTMForward:
+    def test_output_shapes(self, lstm, rng):
+        x = Tensor(rng.normal(size=(4, 6, 3)))
+        out, (h, c) = lstm(x)
+        assert out.shape == (4, 6, 5)
+        assert h.shape == (4, 5)
+        assert c.shape == (4, 5)
+
+    def test_final_state_equals_last_output(self, lstm, rng):
+        x = Tensor(rng.normal(size=(2, 6, 3)))
+        out, (h, _) = lstm(x)
+        np.testing.assert_allclose(out.data[:, -1, :], h.data)
+
+    def test_rejects_2d_input(self, lstm):
+        with pytest.raises(ValueError):
+            lstm(Tensor(np.ones((4, 3))))
+
+    def test_masked_steps_carry_state(self, lstm, rng):
+        x = rng.normal(size=(1, 6, 3))
+        mask = np.array([[True, True, True, False, False, False]])
+        out, (h, _) = lstm(Tensor(x), mask=mask)
+        # After step 2 the hidden state must not change.
+        np.testing.assert_allclose(out.data[0, 3], out.data[0, 2])
+        np.testing.assert_allclose(out.data[0, 5], out.data[0, 2])
+        np.testing.assert_allclose(h.data[0], out.data[0, 2])
+
+    def test_padding_does_not_change_result(self, lstm, rng):
+        seq = rng.normal(size=(1, 4, 3))
+        out_short, _ = lstm(Tensor(seq), mask=np.ones((1, 4), bool))
+        padded = np.concatenate([seq, np.zeros((1, 3, 3))], axis=1)
+        mask = np.array([[True] * 4 + [False] * 3])
+        out_padded, _ = lstm(Tensor(padded), mask=mask)
+        np.testing.assert_allclose(out_padded.data[:, :4], out_short.data, atol=1e-12)
+
+    def test_batch_independence(self, lstm, rng):
+        a = rng.normal(size=(1, 5, 3))
+        b = rng.normal(size=(1, 5, 3))
+        both = np.concatenate([a, b], axis=0)
+        out_pair, _ = lstm(Tensor(both))
+        out_a, _ = lstm(Tensor(a))
+        np.testing.assert_allclose(out_pair.data[0], out_a.data[0], atol=1e-12)
+
+    def test_initial_state_used(self, lstm, rng):
+        x = Tensor(rng.normal(size=(2, 3, 3)))
+        h0 = Tensor(rng.normal(size=(2, 5)))
+        c0 = Tensor(rng.normal(size=(2, 5)))
+        out_init, _ = lstm(x, initial_state=(h0, c0))
+        out_zero, _ = lstm(x)
+        assert not np.allclose(out_init.data, out_zero.data)
+
+    def test_gradcheck_with_mask(self, rng):
+        lstm = LSTM(2, 3, rng=rng)
+        x = rng.normal(size=(2, 4, 2))
+        mask = np.array([[1, 1, 1, 0], [1, 1, 1, 1]], bool)
+
+        def run(t):
+            out, _ = lstm(t, mask=mask)
+            return gather_last(out, np.array([3, 4]))
+
+        check_gradients(run, [x], atol=1e-4)
+
+    def test_parameters_receive_gradients(self, lstm, rng):
+        x = Tensor(rng.normal(size=(2, 4, 3)))
+        out, _ = lstm(x)
+        out.sum().backward()
+        for name, p in lstm.named_parameters():
+            assert p.grad is not None, name
+
+
+class TestGatherLast:
+    def test_selects_per_row(self, rng):
+        out = Tensor(rng.normal(size=(3, 5, 2)))
+        lengths = np.array([1, 3, 5])
+        got = gather_last(out, lengths)
+        np.testing.assert_allclose(got.data[0], out.data[0, 0])
+        np.testing.assert_allclose(got.data[1], out.data[1, 2])
+        np.testing.assert_allclose(got.data[2], out.data[2, 4])
+
+    def test_rejects_out_of_range(self, rng):
+        out = Tensor(rng.normal(size=(2, 4, 2)))
+        with pytest.raises(ValueError):
+            gather_last(out, np.array([0, 2]))
+        with pytest.raises(ValueError):
+            gather_last(out, np.array([2, 5]))
+
+    def test_gradient_lands_on_selected_rows(self):
+        out = Tensor(np.zeros((2, 3, 2)), requires_grad=True)
+        gather_last(out, np.array([3, 2])).sum().backward()
+        expected = np.zeros((2, 3, 2))
+        expected[0, 2] = 1.0
+        expected[1, 1] = 1.0
+        np.testing.assert_allclose(out.grad, expected)

@@ -1,0 +1,127 @@
+"""Tests for the Module / Parameter system."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import Linear, Module, Parameter, Sequential, Tanh
+
+
+class Inner(Module):
+    def __init__(self):
+        super().__init__()
+        self.w = Parameter(np.ones(3))
+
+    def forward(self, x):
+        return x * self.w
+
+
+class Outer(Module):
+    def __init__(self):
+        super().__init__()
+        self.inner = Inner()
+        self.bias = Parameter(np.zeros(3))
+
+    def forward(self, x):
+        return self.inner(x) + self.bias
+
+
+def test_parameter_is_trainable_tensor():
+    p = Parameter(np.ones(2))
+    assert isinstance(p, Tensor)
+    assert p.requires_grad
+
+
+def test_named_parameters_nested_paths():
+    model = Outer()
+    names = dict(model.named_parameters())
+    assert set(names) == {"bias", "inner.w"}
+
+
+def test_parameters_returns_all():
+    assert len(Outer().parameters()) == 2
+
+
+def test_num_parameters():
+    assert Outer().num_parameters() == 6
+
+
+def test_zero_grad_clears_all():
+    model = Outer()
+    out = model(Tensor(np.ones(3)))
+    out.sum().backward()
+    assert model.inner.w.grad is not None
+    model.zero_grad()
+    assert model.inner.w.grad is None
+    assert model.bias.grad is None
+
+
+def test_train_eval_propagates():
+    model = Outer()
+    assert model.training and model.inner.training
+    model.eval()
+    assert not model.training and not model.inner.training
+    model.train()
+    assert model.training and model.inner.training
+
+
+def test_state_dict_roundtrip(rng):
+    a = Linear(4, 3, rng=rng)
+    b = Linear(4, 3, rng=np.random.default_rng(999))
+    assert not np.allclose(a.weight.data, b.weight.data)
+    b.load_state_dict(a.state_dict())
+    np.testing.assert_allclose(a.weight.data, b.weight.data)
+    np.testing.assert_allclose(a.bias.data, b.bias.data)
+
+
+def test_state_dict_is_a_copy(rng):
+    layer = Linear(2, 2, rng=rng)
+    state = layer.state_dict()
+    state["weight"][:] = 0.0
+    assert not np.allclose(layer.weight.data, 0.0)
+
+
+def test_load_state_dict_rejects_missing_keys(rng):
+    layer = Linear(2, 2, rng=rng)
+    with pytest.raises(KeyError, match="missing"):
+        layer.load_state_dict({"weight": np.zeros((2, 2))})
+
+
+def test_load_state_dict_rejects_unexpected_keys(rng):
+    layer = Linear(2, 2, rng=rng)
+    state = layer.state_dict()
+    state["extra"] = np.zeros(1)
+    with pytest.raises(KeyError, match="unexpected"):
+        layer.load_state_dict(state)
+
+
+def test_load_state_dict_rejects_bad_shapes(rng):
+    layer = Linear(2, 2, rng=rng)
+    state = layer.state_dict()
+    state["weight"] = np.zeros((3, 3))
+    with pytest.raises(ValueError, match="shape mismatch"):
+        layer.load_state_dict(state)
+
+
+def test_forward_not_implemented():
+    with pytest.raises(NotImplementedError):
+        Module()(1)
+
+
+def test_sequential_chains(rng):
+    seq = Sequential(Linear(2, 4, rng=rng), Tanh(), Linear(4, 1, rng=rng))
+    out = seq(Tensor(np.ones((5, 2))))
+    assert out.shape == (5, 1)
+    assert len(seq.parameters()) == 4
+
+
+def test_register_module_by_name(rng):
+    class ListHolder(Module):
+        def __init__(self):
+            super().__init__()
+            for i in range(3):
+                self.register_module(f"item{i}", Linear(2, 2, rng=rng))
+
+    holder = ListHolder()
+    assert len(holder.parameters()) == 6
+    assert any(n.startswith("item2.") for n, _ in holder.named_parameters())

@@ -1,0 +1,146 @@
+"""Tests for optimizers, gradient clipping and LR schedules."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import Parameter
+from repro.optim import SGD, Adam, ConstantLR, ExponentialDecayLR, StepLR, clip_grad_norm
+
+
+def quadratic_loss(p: Parameter) -> Tensor:
+    target = Tensor(np.array([1.0, -2.0, 3.0]))
+    diff = p - target
+    return (diff * diff).sum()
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.zeros(3))
+        opt = Adam([p], lr=0.1)
+        for _ in range(200):
+            loss = quadratic_loss(p)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, [1.0, -2.0, 3.0], atol=1e-3)
+
+    def test_skips_parameters_without_grad(self):
+        p, q = Parameter(np.ones(2)), Parameter(np.ones(2))
+        opt = Adam([p, q], lr=0.1)
+        (p.sum() * 2.0).backward()
+        opt.step()
+        np.testing.assert_allclose(q.data, np.ones(2))
+        assert not np.allclose(p.data, np.ones(2))
+
+    def test_weight_decay_shrinks_weights(self):
+        p = Parameter(np.ones(3) * 10)
+        opt = Adam([p], lr=0.05, weight_decay=1.0)
+        for _ in range(100):
+            loss = (p * 0.0).sum()  # zero data gradient: only decay acts
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert np.all(np.abs(p.data) < 10)
+
+    def test_rejects_empty_params(self):
+        with pytest.raises(ValueError):
+            Adam([])
+
+    def test_rejects_bad_lr(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.ones(1))], lr=0.0)
+
+    def test_zero_grad(self):
+        p = Parameter(np.ones(1))
+        opt = Adam([p])
+        p.grad = np.ones(1)
+        opt.zero_grad()
+        assert p.grad is None
+
+
+class TestSGD:
+    def test_single_step_math(self):
+        p = Parameter(np.array([2.0]))
+        opt = SGD([p], lr=0.5)
+        p.grad = np.array([1.0])
+        opt.step()
+        np.testing.assert_allclose(p.data, [1.5])
+
+    def test_momentum_accelerates(self):
+        losses = {}
+        for momentum in (0.0, 0.9):
+            p = Parameter(np.zeros(3))
+            opt = SGD([p], lr=0.01, momentum=momentum)
+            for _ in range(50):
+                loss = quadratic_loss(p)
+                opt.zero_grad()
+                loss.backward()
+                opt.step()
+            losses[momentum] = quadratic_loss(p).item()
+        assert losses[0.9] < losses[0.0]
+
+    def test_weight_decay(self):
+        p = Parameter(np.array([4.0]))
+        opt = SGD([p], lr=0.1, weight_decay=0.5)
+        p.grad = np.array([0.0])
+        opt.step()
+        np.testing.assert_allclose(p.data, [4.0 - 0.1 * 0.5 * 4.0])
+
+    def test_rejects_empty_and_bad_lr(self):
+        with pytest.raises(ValueError):
+            SGD([])
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.ones(1))], lr=-1)
+
+
+class TestClip:
+    def test_norm_reduced_to_max(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.ones(4) * 10  # norm 20
+        pre = clip_grad_norm([p], max_norm=1.0)
+        assert pre == pytest.approx(20.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0, rel=1e-6)
+
+    def test_small_gradients_untouched(self):
+        p = Parameter(np.zeros(2))
+        p.grad = np.array([0.1, 0.1])
+        clip_grad_norm([p], max_norm=10.0)
+        np.testing.assert_allclose(p.grad, [0.1, 0.1])
+
+    def test_no_grads_returns_zero(self):
+        assert clip_grad_norm([Parameter(np.ones(2))], 1.0) == 0.0
+
+    def test_rejects_nonpositive_norm(self):
+        p = Parameter(np.zeros(2))
+        p.grad = np.ones(2)
+        with pytest.raises(ValueError):
+            clip_grad_norm([p], 0.0)
+
+
+class TestSchedules:
+    def test_constant(self):
+        opt = SGD([Parameter(np.ones(1))], lr=0.5)
+        sched = ConstantLR(opt)
+        assert sched.step() == 0.5
+        assert opt.lr == 0.5
+
+    def test_step_lr(self):
+        opt = SGD([Parameter(np.ones(1))], lr=1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        sched.step()
+        assert opt.lr == 1.0
+        sched.step()
+        assert opt.lr == pytest.approx(0.1)
+
+    def test_step_lr_rejects_bad_step(self):
+        opt = SGD([Parameter(np.ones(1))], lr=1.0)
+        with pytest.raises(ValueError):
+            StepLR(opt, step_size=0)
+
+    def test_exponential(self):
+        opt = SGD([Parameter(np.ones(1))], lr=1.0)
+        sched = ExponentialDecayLR(opt, gamma=0.5)
+        sched.step()
+        sched.step()
+        assert opt.lr == pytest.approx(0.25)

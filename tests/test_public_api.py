@@ -1,0 +1,55 @@
+"""Sanity checks on the public API surface: exports resolve, __all__ is
+accurate, and the package-level quickstart from the docstring runs."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.autograd",
+    "repro.nn",
+    "repro.optim",
+    "repro.metrics",
+    "repro.data",
+    "repro.index",
+    "repro.core",
+    "repro.baselines",
+    "repro.eval",
+    "repro.experiments",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_all_exports_resolve(name):
+    module = importlib.import_module(name)
+    assert hasattr(module, "__all__"), f"{name} lacks __all__"
+    for symbol in module.__all__:
+        assert hasattr(module, symbol), f"{name}.{symbol} in __all__ but missing"
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_module_docstrings_present(name):
+    module = importlib.import_module(name)
+    assert module.__doc__ and module.__doc__.strip(), f"{name} lacks a docstring"
+
+
+def test_version_string():
+    import repro
+
+    assert repro.__version__.count(".") == 2
+
+
+def test_top_level_quickstart_smoke():
+    """The snippet advertised in repro.__doc__ must actually run."""
+    import numpy as np
+
+    from repro import TMN, TMNConfig, Trainer, make_dataset, prepare
+
+    corpus, _ = prepare(make_dataset("porto", 80, seed=0))
+    train, test = corpus.split(0.5, rng=np.random.default_rng(0))
+    config = TMNConfig(hidden_dim=8, epochs=1, sampling_number=4)
+    model = TMN(config)
+    Trainer(model, config, metric="dtw").fit(train.points_list)
+    embeddings = model.encode(test.points_list)
+    assert embeddings.shape == (len(test), 8)
