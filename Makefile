@@ -1,12 +1,15 @@
 # Convenience targets for the TMN reproduction.
 
-.PHONY: install test bench bench-fast examples clean
+.PHONY: install test lint bench bench-fast examples clean
 
 install:
 	pip install -e .
 
 test:
 	pytest tests/
+
+lint:
+	PYTHONPATH=src python -m repro.analysis src
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -1,0 +1,103 @@
+"""Project-specific static analysis for the TMN reproduction.
+
+The reproduction rests on a hand-written numpy autograd engine, where the
+classic failure modes — silent in-place buffer mutation, unseeded RNG,
+untested backward passes, mis-wired layer dimensions — corrupt gradients
+or reproducibility *without failing any test loudly*.  This package
+codifies the project's correctness rules as a machine-checked lint pass:
+
+========  ==============================================================
+R001      no global / unseeded numpy RNG — seeded Generators only
+R002      no in-place mutation of ``Tensor.data``/``.grad`` buffers
+R003      every differentiable op needs a finite-difference gradcheck test
+R004      float64 engine discipline — no float32/float16 drift
+R005      ``__all__`` must match each module's actual public surface
+R006      docstrings on public functions, classes and methods
+S001      symbolic layer-dimension wiring check (no model execution)
+========  ==============================================================
+
+Run it as ``python -m repro.analysis src/``, via ``repro-tmn lint`` or
+``make lint``; the tier-1 test ``tests/test_analysis.py`` keeps the tree
+at zero violations.  Intentional exceptions are marked inline with
+``# lint: allow(R00X)`` or recorded in a JSON baseline file.
+"""
+
+from .baseline import Baseline, Suppression, load_baseline, write_baseline
+from .engine import AnalysisReport, FileContext, ProjectContext, run_analysis
+from .registry import RULES, Rule, register, rule_catalogue
+from .shapes import LayerSpec, SymDim, check_module_wiring
+from .violations import Violation, format_text, sort_violations
+
+__all__ = [
+    "AnalysisReport",
+    "Baseline",
+    "FileContext",
+    "LayerSpec",
+    "ProjectContext",
+    "RULES",
+    "Rule",
+    "Suppression",
+    "SymDim",
+    "Violation",
+    "check_module_wiring",
+    "format_text",
+    "load_baseline",
+    "main",
+    "register",
+    "rule_catalogue",
+    "run_analysis",
+    "sort_violations",
+    "write_baseline",
+]
+
+
+def main(argv=None) -> int:
+    """Entry point shared by ``python -m repro.analysis`` and the CLI.
+
+    Parses lint arguments, runs the pass and prints the report; returns 1
+    when violations remain (so it can gate CI) and 0 on a clean tree.
+    """
+    import argparse
+    import sys
+    from pathlib import Path
+
+    from . import rules as _rules  # noqa: F401  (registers the catalogue)
+    from .baseline import write_baseline as _write
+
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis",
+        description="Project lint: autograd safety rules + symbolic shape checks",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"], help="files or directories to lint")
+    parser.add_argument("--tests", default=None, help="pytest suite location (default: ./tests)")
+    parser.add_argument("--baseline", default=None, help="JSON suppression file")
+    parser.add_argument("--write-baseline", default=None, metavar="PATH",
+                        help="snapshot current findings to a baseline file and exit 0")
+    parser.add_argument("--json", action="store_true", help="emit a JSON report")
+    parser.add_argument("--rules", default=None,
+                        help="comma-separated subset of rule ids to run")
+    parser.add_argument("--list-rules", action="store_true", help="print the rule catalogue")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in rule_catalogue():
+            print(f"{rule.rule_id}  {rule.title}\n      {rule.rationale}")
+        return 0
+
+    selected = [r.strip() for r in args.rules.split(",")] if args.rules else None
+    try:
+        report = run_analysis(
+            [Path(p) for p in args.paths],
+            tests_dir=args.tests,
+            baseline=args.baseline,
+            rules=selected,
+        )
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        _write(args.write_baseline, report.violations)
+        print(f"wrote {len(report.violations)} suppression(s) to {args.write_baseline}")
+        return 0
+    print(report.to_json() if args.json else report.format_text())
+    return 0 if report.ok else 1

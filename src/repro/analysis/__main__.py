@@ -1,0 +1,8 @@
+"""``python -m repro.analysis`` — run the project lint pass."""
+
+import sys
+
+from . import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,90 @@
+"""JSON baseline / suppression file for the lint pass.
+
+A baseline lets a PR adopt the linter without first fixing (or while
+deliberately keeping) specific findings.  The file holds a list of
+suppression entries; each entry names a rule and a path and optionally a
+line and a reason::
+
+    {
+      "suppress": [
+        {"rule": "R002", "path": "src/repro/optim/adam.py", "line": 74,
+         "reason": "optimizer update step"}
+      ]
+    }
+
+Entries without ``line`` match every occurrence of the rule in the file.
+``repro.cli lint --write-baseline`` snapshots the current findings so a
+follow-up PR can burn the list down entry by entry.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Union
+
+from .violations import Violation
+
+__all__ = ["Baseline", "Suppression", "load_baseline", "write_baseline"]
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One baseline entry: a (rule, path[, line]) pattern with a reason."""
+
+    rule: str
+    path: str
+    line: Optional[int] = None
+    reason: str = ""
+
+    def matches(self, violation: Violation) -> bool:
+        """Whether this entry suppresses the given violation."""
+        if self.rule != violation.rule or self.path != violation.path:
+            return False
+        return self.line is None or self.line == violation.line
+
+
+@dataclass(frozen=True)
+class Baseline:
+    """A parsed suppression file."""
+
+    suppressions: tuple
+
+    def filter(self, violations: Iterable[Violation]) -> List[Violation]:
+        """Drop every violation matched by a suppression entry."""
+        return [
+            v
+            for v in violations
+            if not any(s.matches(v) for s in self.suppressions)
+        ]
+
+
+def load_baseline(path: Union[str, Path, None]) -> Baseline:
+    """Load a baseline file; a missing/None path yields an empty baseline."""
+    if path is None:
+        return Baseline(())
+    path = Path(path)
+    if not path.exists():
+        return Baseline(())
+    raw = json.loads(path.read_text())
+    entries = []
+    for item in raw.get("suppress", []):
+        entries.append(
+            Suppression(
+                rule=str(item["rule"]),
+                path=str(item["path"]),
+                line=int(item["line"]) if "line" in item and item["line"] is not None else None,
+                reason=str(item.get("reason", "")),
+            )
+        )
+    return Baseline(tuple(entries))
+
+
+def write_baseline(path: Union[str, Path], violations: Sequence[Violation]) -> None:
+    """Snapshot current violations as a suppression file."""
+    entries = [
+        {"rule": v.rule, "path": v.path, "line": v.line, "reason": "baselined"}
+        for v in sorted(set(violations))
+    ]
+    Path(path).write_text(json.dumps({"suppress": entries}, indent=2) + "\n")

@@ -1,0 +1,219 @@
+"""The lint engine: file discovery, rule dispatch, suppression, reporting.
+
+:func:`run_analysis` is the single entry point used by ``python -m
+repro.analysis``, the ``repro-tmn lint`` subcommand and the tier-1 test.
+It parses every target file once, hands the ASTs to each registered rule
+(see :mod:`repro.analysis.registry`) and returns an
+:class:`AnalysisReport` after applying inline ``# lint: allow(...)``
+comments and the optional JSON baseline.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Union
+
+from .baseline import load_baseline
+from .registry import RULES
+from .violations import Violation, format_text, sort_violations
+
+__all__ = ["FileContext", "ProjectContext", "AnalysisReport", "run_analysis"]
+
+#: Inline suppression marker: ``# lint: allow(R002)`` or ``allow(R001, R004)``.
+_ALLOW_RE = re.compile(r"#\s*lint:\s*allow\(([A-Za-z0-9_,\s]+)\)")
+
+#: Directories never worth linting.
+_SKIP_DIRS = {"__pycache__", ".git", "build", "dist"}
+
+
+@dataclass
+class FileContext:
+    """One parsed module, with everything file-scoped rules need."""
+
+    path: Path  #: absolute path on disk
+    rel: str  #: path relative to the analysis root (used in reports)
+    source: str
+    tree: ast.Module
+    #: line number -> rule ids allowed on that line by inline comments
+    allowed: Dict[int, Set[str]] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, path: Path, rel: str) -> "FileContext":
+        """Read and parse one file, collecting inline allow comments."""
+        source = path.read_text()
+        tree = ast.parse(source, filename=str(path))
+        allowed: Dict[int, Set[str]] = {}
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            match = _ALLOW_RE.search(line)
+            if match:
+                rules = {r.strip() for r in match.group(1).split(",") if r.strip()}
+                allowed.setdefault(lineno, set()).update(rules)
+        return cls(path=path, rel=rel, source=source, tree=tree, allowed=allowed)
+
+    def is_allowed(self, rule_id: str, line: int) -> bool:
+        """Whether an inline comment on ``line`` suppresses ``rule_id``."""
+        return rule_id in self.allowed.get(line, ())
+
+
+@dataclass
+class ProjectContext:
+    """The whole analysis target: every file plus the test-suite location."""
+
+    root: Path
+    files: List[FileContext]
+    tests_dir: Optional[Path] = None
+
+    def file(self, rel: str) -> Optional[FileContext]:
+        """Look up a parsed file by report-relative path."""
+        for ctx in self.files:
+            if ctx.rel == rel:
+                return ctx
+        return None
+
+
+@dataclass
+class AnalysisReport:
+    """Outcome of one full lint pass."""
+
+    violations: List[Violation]
+    files_checked: int
+
+    @property
+    def ok(self) -> bool:
+        """True when the tree is clean."""
+        return not self.violations
+
+    def format_text(self) -> str:
+        """Human-readable report (one line per violation plus a summary)."""
+        summary = (
+            f"{len(self.violations)} violation(s) in {self.files_checked} file(s)"
+            if self.violations
+            else f"clean: {self.files_checked} file(s), 0 violations"
+        )
+        body = format_text(self.violations)
+        return f"{body}\n{summary}" if body else summary
+
+    def to_json(self) -> str:
+        """Machine-readable report for tooling."""
+        return json.dumps(
+            {
+                "files_checked": self.files_checked,
+                "violations": [v.to_dict() for v in self.violations],
+            },
+            indent=2,
+        )
+
+
+def _iter_python_files(target: Path) -> Iterable[Path]:
+    if target.is_file():
+        if target.suffix == ".py":
+            yield target
+        return
+    for path in sorted(target.rglob("*.py")):
+        parts = set(path.parts)
+        if parts & _SKIP_DIRS or any(p.endswith(".egg-info") for p in path.parts):
+            continue
+        yield path
+
+
+def _relative(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def run_analysis(
+    paths: Sequence[Union[str, Path]],
+    tests_dir: Union[str, Path, None] = None,
+    baseline: Union[str, Path, None] = None,
+    root: Union[str, Path, None] = None,
+    rules: Optional[Sequence[str]] = None,
+) -> AnalysisReport:
+    """Run every registered rule over ``paths`` and return the report.
+
+    Parameters
+    ----------
+    paths:
+        Files or directories to lint (directories are walked recursively).
+    tests_dir:
+        Location of the pytest suite, needed by project-scope rules such as
+        R003 (gradcheck coverage).  Defaults to ``<root>/tests`` when that
+        directory exists.
+    baseline:
+        Optional JSON suppression file (see :mod:`repro.analysis.baseline`).
+    root:
+        Directory report paths are made relative to; defaults to the
+        current working directory.
+    rules:
+        Optional subset of rule ids to run (default: all registered).
+    """
+    # Import for the registration side effect: rule modules populate RULES.
+    from . import rules as _rules  # noqa: F401
+
+    if rules is not None:
+        unknown = sorted(set(rules) - set(RULES))
+        if unknown:
+            raise ValueError(f"unknown rule id(s): {', '.join(unknown)}")
+
+    root = Path(root) if root is not None else Path.cwd()
+    if tests_dir is None:
+        candidate = root / "tests"
+        tests_dir = candidate if candidate.is_dir() else None
+    else:
+        tests_dir = Path(tests_dir)
+
+    files: List[FileContext] = []
+    parse_errors: List[Violation] = []
+    seen: Set[Path] = set()
+    for target in paths:
+        if not Path(target).exists():
+            # A typo'd path silently passing would defeat the CI gate.
+            raise FileNotFoundError(f"lint target does not exist: {target}")
+        for path in _iter_python_files(Path(target)):
+            resolved = path.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            rel = _relative(path, root)
+            try:
+                files.append(FileContext.parse(path, rel))
+            except SyntaxError as exc:
+                parse_errors.append(
+                    Violation(
+                        path=rel,
+                        line=exc.lineno or 1,
+                        col=(exc.offset or 1) - 1,
+                        rule="E001",
+                        message=f"file does not parse: {exc.msg}",
+                    )
+                )
+
+    project = ProjectContext(root=root, files=files, tests_dir=tests_dir)
+
+    selected = [RULES[r] for r in sorted(RULES) if rules is None or r in rules]
+    raw: List[Violation] = list(parse_errors)
+    for rule in selected:
+        if rule.scope == "file":
+            for ctx in files:
+                raw.extend(rule.check(ctx))
+        else:
+            raw.extend(rule.check(project))
+
+    kept: List[Violation] = []
+    by_rel = {ctx.rel: ctx for ctx in files}
+    for violation in raw:
+        ctx = by_rel.get(violation.path)
+        if ctx is not None and ctx.is_allowed(violation.rule, violation.line):
+            continue
+        kept.append(violation)
+
+    kept = load_baseline(baseline).filter(kept)
+    return AnalysisReport(
+        violations=sort_violations(kept),
+        files_checked=len(files) + len(parse_errors),
+    )

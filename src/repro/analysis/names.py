@@ -1,0 +1,63 @@
+"""Qualified-name resolution helpers shared by the lint rules.
+
+Rules need to recognise calls like ``np.random.rand`` regardless of how
+numpy was imported (``import numpy as np``, ``from numpy import random``,
+``from numpy.random import default_rng``...).  :func:`import_aliases`
+builds the local-name → dotted-path map for a module and
+:func:`qualified_name` normalises an expression through it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional
+
+__all__ = ["import_aliases", "dotted_name", "qualified_name"]
+
+
+def import_aliases(tree: ast.AST) -> Dict[str, str]:
+    """Map local names to fully qualified dotted paths for every import."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                local = item.asname or item.name.split(".")[0]
+                target = item.name if item.asname else item.name.split(".")[0]
+                aliases[local] = target
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:  # relative import: leave package-local names alone
+                continue
+            module = node.module or ""
+            for item in node.names:
+                if item.name == "*":
+                    continue
+                aliases[item.asname or item.name] = f"{module}.{item.name}"
+    return aliases
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Literal dotted form of a Name/Attribute chain, or None."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def qualified_name(node: ast.AST, aliases: Dict[str, str]) -> Optional[str]:
+    """Fully qualified dotted name of an expression, through import aliases.
+
+    ``np.random.rand`` with ``import numpy as np`` resolves to
+    ``numpy.random.rand``; ``default_rng`` imported from ``numpy.random``
+    resolves to ``numpy.random.default_rng``.  Returns None for anything
+    that is not a plain Name/Attribute chain.
+    """
+    dotted = dotted_name(node)
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    head = aliases.get(head, head)
+    return f"{head}.{rest}" if rest else head

@@ -1,0 +1,61 @@
+"""Rule registry for the project lint pass.
+
+Rules self-register via the :func:`register` decorator, which keeps the
+catalogue (id, title, rationale) next to the implementation.  The engine
+iterates :data:`RULES` so adding a rule is a one-file change.
+
+Two scopes exist:
+
+- ``"file"`` rules receive one :class:`~repro.analysis.engine.FileContext`
+  at a time and see a single module's AST;
+- ``"project"`` rules receive the whole
+  :class:`~repro.analysis.engine.ProjectContext` and can cross-reference
+  files (e.g. R003 matches ops against the test suite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List
+
+__all__ = ["Rule", "RULES", "register", "rule_catalogue"]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered lint rule: identifier, documentation and checker."""
+
+    rule_id: str
+    title: str
+    rationale: str
+    scope: str  # "file" or "project"
+    check: Callable[..., Iterable] = field(compare=False)
+
+    def __post_init__(self) -> None:
+        if self.scope not in ("file", "project"):
+            raise ValueError(f"unknown rule scope {self.scope!r}")
+
+
+#: Catalogue of every registered rule, keyed by rule id.
+RULES: Dict[str, Rule] = {}
+
+
+def register(rule_id: str, title: str, rationale: str, scope: str = "file"):
+    """Class/function decorator that adds a checker to :data:`RULES`.
+
+    The decorated callable keeps working as-is; registration is a side
+    effect so rule modules only need to be imported once.
+    """
+
+    def wrap(check: Callable[..., Iterable]) -> Callable[..., Iterable]:
+        if rule_id in RULES:
+            raise ValueError(f"duplicate rule id {rule_id}")
+        RULES[rule_id] = Rule(rule_id, title, rationale, scope, check)
+        return check
+
+    return wrap
+
+
+def rule_catalogue() -> List[Rule]:
+    """All registered rules in id order (for ``--rules`` and the docs)."""
+    return [RULES[k] for k in sorted(RULES)]

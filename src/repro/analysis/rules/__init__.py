@@ -1,0 +1,16 @@
+"""Project-specific lint rules.
+
+Importing this package registers every rule with
+:data:`repro.analysis.registry.RULES`:
+
+- R001 (:mod:`.rng`) — no global/unseeded numpy RNG;
+- R002 (:mod:`.mutation`) — no in-place mutation of autograd buffers;
+- R003 (:mod:`.coverage`) — every differentiable op has a gradcheck test;
+- R004 (:mod:`.dtype`) — float64 engine discipline, no narrow-float drift;
+- R005/R006 (:mod:`.api`) — ``__all__`` accuracy and public docstrings;
+- S001 (:mod:`.wiring`) — symbolic layer-dimension checking.
+"""
+
+from . import api, coverage, dtype, mutation, rng, wiring
+
+__all__ = ["api", "coverage", "dtype", "mutation", "rng", "wiring"]

@@ -1,0 +1,155 @@
+"""R005/R006 — public-API surface hygiene.
+
+R005 keeps ``__all__`` truthful in both directions: every public top-level
+``def``/``class`` must be exported, and every exported name must actually
+be bound in the module.  A stale ``__all__`` makes ``from repro.x import
+*`` and the API docs lie, and hides accidental API growth from review.
+
+R006 requires a docstring on every public function, class and method —
+the reproduction's modules double as the documentation of which paper
+equation each piece implements.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from ..engine import FileContext
+from ..registry import register
+from ..violations import Violation
+
+__all__ = ["check_all_consistency", "check_docstrings", "declared_all", "public_surface"]
+
+
+def declared_all(tree: ast.Module) -> Optional[List[str]]:
+    """The literal ``__all__`` list of a module, or None when absent."""
+    for node in tree.body:
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.target is not None:
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                try:
+                    value = ast.literal_eval(node.value)
+                except (ValueError, TypeError):
+                    return None
+                return [str(v) for v in value]
+    return None
+
+
+def public_surface(tree: ast.Module) -> List[ast.stmt]:
+    """Top-level public ``def``/``class`` statements of a module."""
+    return [
+        node
+        for node in tree.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+        and not node.name.startswith("_")
+    ]
+
+
+def _bound_names(tree: ast.Module) -> Set[str]:
+    """Names bound at module top level (defs, classes, imports, assigns)."""
+    bound: Set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            bound.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                for name in ast.walk(target):
+                    if isinstance(name, ast.Name):
+                        bound.add(name.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            bound.add(node.target.id)
+        elif isinstance(node, ast.Import):
+            for item in node.names:
+                bound.add((item.asname or item.name).split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for item in node.names:
+                if item.name != "*":
+                    bound.add(item.asname or item.name)
+    return bound
+
+
+def _is_script(ctx: FileContext) -> bool:
+    return ctx.rel.endswith("__main__.py")
+
+
+@register(
+    "R005",
+    title="__all__ must match the public surface",
+    rationale=(
+        "a stale __all__ makes star-imports and API docs lie and lets "
+        "accidental API growth slip past review"
+    ),
+)
+def check_all_consistency(ctx: FileContext) -> Iterator[Violation]:
+    """Flag missing ``__all__``, unexported public defs and phantom exports."""
+    if _is_script(ctx):
+        return
+    exported = declared_all(ctx.tree)
+    if exported is None:
+        yield Violation(
+            path=ctx.rel,
+            line=1,
+            col=0,
+            rule="R005",
+            message="module has no literal __all__; declare its public surface",
+        )
+        return
+    for node in public_surface(ctx.tree):
+        if node.name not in exported:
+            yield Violation(
+                path=ctx.rel,
+                line=node.lineno,
+                col=node.col_offset,
+                rule="R005",
+                message=f"public `{node.name}` is not listed in __all__",
+            )
+    bound = _bound_names(ctx.tree)
+    for name in exported:
+        if name not in bound and name != "__version__":
+            yield Violation(
+                path=ctx.rel,
+                line=1,
+                col=0,
+                rule="R005",
+                message=f"__all__ exports `{name}` but the module never binds it",
+            )
+
+
+@register(
+    "R006",
+    title="public functions, classes and methods need docstrings",
+    rationale=(
+        "the modules double as the map from code to paper equations; an "
+        "undocumented public symbol breaks that map"
+    ),
+)
+def check_docstrings(ctx: FileContext) -> Iterator[Violation]:
+    """Flag public defs/classes/methods without a docstring."""
+    if _is_script(ctx):
+        return
+
+    def visit(body, in_class: bool) -> Iterator[Violation]:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                if node.name.startswith("_"):
+                    continue
+                if ast.get_docstring(node) is None:
+                    kind = "class" if isinstance(node, ast.ClassDef) else (
+                        "method" if in_class else "function"
+                    )
+                    yield Violation(
+                        path=ctx.rel,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        rule="R006",
+                        message=f"public {kind} `{node.name}` lacks a docstring",
+                    )
+                if isinstance(node, ast.ClassDef):
+                    yield from visit(node.body, in_class=True)
+
+    yield from visit(ctx.tree.body, in_class=False)

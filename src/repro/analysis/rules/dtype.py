@@ -1,0 +1,92 @@
+"""R004 — float64 engine discipline (no narrow-float drift).
+
+The autograd engine, the metrics and the optimizers all assume float64:
+gradcheck tolerances, the fused-kernel comparisons and the DTW family are
+calibrated for double precision.  A single ``float32`` array introduced
+anywhere silently downcasts everything it touches via numpy promotion
+rules, loosening gradients until finite-difference checks flake.  The rule
+flags explicit narrow-float dtype requests — ``dtype=np.float32``,
+``astype("float32")``, ``np.float16(...)`` — anywhere in the tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..engine import FileContext
+from ..names import import_aliases, qualified_name
+from ..registry import register
+from ..violations import Violation
+
+__all__ = ["check_dtype"]
+
+#: Narrow float dtypes the float64 engine must never see.
+_NARROW_QUALNAMES = {
+    "numpy.float32",
+    "numpy.float16",
+    "numpy.single",
+    "numpy.half",
+}
+_NARROW_STRINGS = {"float32", "float16", "single", "half", "f4", "f2", "<f4", "<f2"}
+
+
+def _narrow_dtype(node: ast.AST, aliases) -> Optional[str]:
+    """The narrow-float dtype an expression denotes, or None."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        if node.value in _NARROW_STRINGS:
+            return node.value
+        return None
+    qual = qualified_name(node, aliases)
+    if qual in _NARROW_QUALNAMES:
+        return qual
+    return None
+
+
+@register(
+    "R004",
+    title="no implicit float32/float16 drift",
+    rationale=(
+        "the engine is calibrated for float64 end to end; one narrow-float "
+        "array silently downcasts everything via promotion and loosens "
+        "gradients past the gradcheck tolerances"
+    ),
+)
+def check_dtype(ctx: FileContext) -> Iterator[Violation]:
+    """Flag explicit narrow-float dtype requests."""
+    aliases = import_aliases(ctx.tree)
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        found: Optional[str] = None
+        # np.float32(x) / np.half(x) constructor calls.
+        qual = qualified_name(node.func, aliases)
+        if qual in _NARROW_QUALNAMES:
+            found = qual
+        # dtype=... keyword on any call (np.array, np.zeros, astype, ...).
+        if found is None:
+            for kw in node.keywords:
+                if kw.arg == "dtype":
+                    found = _narrow_dtype(kw.value, aliases)
+                    if found:
+                        break
+        # x.astype(np.float32) positional form.
+        if (
+            found is None
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("astype", "view")
+            and node.args
+        ):
+            found = _narrow_dtype(node.args[0], aliases)
+        if found:
+            yield Violation(
+                path=ctx.rel,
+                line=node.lineno,
+                col=node.col_offset,
+                rule="R004",
+                message=(
+                    f"narrow float dtype `{found}` requested; the engine is "
+                    "float64-only — implicit promotion would silently drift "
+                    "precision across the tape"
+                ),
+            )

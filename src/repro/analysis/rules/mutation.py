@@ -1,0 +1,106 @@
+"""R002 — no in-place mutation of autograd-tracked buffers.
+
+The tape built by :mod:`repro.autograd` closes over the *same* ndarrays a
+``Tensor`` carries in ``.data``; backward closures read them after the
+forward pass.  Mutating such a buffer in place (``t.data += ...``,
+``t.data[i] = ...``, ``np.add.at(t.data, ...)``, ``t.data.fill(...)``)
+silently corrupts every gradient computed from it — no exception, just
+wrong training.  Rebinding (``p.data = p.data - lr * g``) is safe because
+the old buffer stays intact for the tape.
+
+Sanctioned in-place updates (the optimizer step, where no live tape refers
+to the parameter buffer) carry an inline ``# lint: allow(R002)`` marker.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..engine import FileContext
+from ..names import import_aliases, qualified_name
+from ..registry import register
+from ..violations import Violation
+
+__all__ = ["check_mutation"]
+
+#: Attributes whose buffers the autograd tape may hold references to.
+_TRACKED_ATTRS = {"data", "grad"}
+
+#: ndarray methods that mutate the receiver in place.
+_MUTATING_METHODS = {"fill", "put", "sort", "partition", "resize", "setfield", "itemset"}
+
+#: numpy ufunc-level in-place APIs: ``np.add.at(target, idx, val)`` etc.
+_UFUNC_AT_PREFIXES = ("numpy.add.at", "numpy.subtract.at", "numpy.multiply.at", "numpy.divide.at")
+
+
+def _tracked_attr(node: ast.AST) -> Optional[ast.Attribute]:
+    """The ``.data``/``.grad`` attribute inside an expression chain, if any."""
+    while True:
+        if isinstance(node, ast.Attribute):
+            if node.attr in _TRACKED_ATTRS:
+                return node
+            node = node.value
+        elif isinstance(node, ast.Subscript):
+            node = node.value
+        else:
+            return None
+
+
+def _violation(ctx: FileContext, node: ast.AST, what: str) -> Violation:
+    return Violation(
+        path=ctx.rel,
+        line=node.lineno,
+        col=node.col_offset,
+        rule="R002",
+        message=(
+            f"{what} mutates an autograd-tracked buffer in place; the tape "
+            "may hold a reference to it, so gradients would be silently "
+            "wrong — rebind instead, or mark a sanctioned optimizer update "
+            "with `# lint: allow(R002)`"
+        ),
+    )
+
+
+@register(
+    "R002",
+    title="no in-place mutation of Tensor.data / .grad buffers",
+    rationale=(
+        "backward closures read forward-pass arrays after the fact; "
+        "in-place writes corrupt gradients without any error"
+    ),
+)
+def check_mutation(ctx: FileContext) -> Iterator[Violation]:
+    """Flag augmented/slice assignment and mutating calls on ``.data``/``.grad``."""
+    aliases = import_aliases(ctx.tree)
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.AugAssign):
+            if _tracked_attr(node.target) is not None:
+                yield _violation(ctx, node, "augmented assignment")
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, (ast.Subscript, ast.Tuple, ast.List)):
+                    elements = (
+                        target.elts if isinstance(target, (ast.Tuple, ast.List)) else [target]
+                    )
+                    for element in elements:
+                        if (
+                            isinstance(element, ast.Subscript)
+                            and _tracked_attr(element) is not None
+                        ):
+                            yield _violation(ctx, node, "slice assignment")
+        elif isinstance(node, ast.Call):
+            # t.data.fill(0) and friends.
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _MUTATING_METHODS
+                and _tracked_attr(func.value) is not None
+            ):
+                yield _violation(ctx, node, f"`.{func.attr}()` call")
+                continue
+            # np.add.at(t.data, idx, val) and friends.
+            qual = qualified_name(func, aliases)
+            if qual in _UFUNC_AT_PREFIXES and node.args:
+                if _tracked_attr(node.args[0]) is not None:
+                    yield _violation(ctx, node, f"`{qual}` call")

@@ -1,0 +1,82 @@
+"""R001 — seeded, threaded RNG only.
+
+Reproducibility of every experiment table rests on all randomness flowing
+from explicitly seeded :class:`numpy.random.Generator` objects that are
+threaded through function arguments.  Two things break that silently:
+
+- the *legacy global* RNG (``np.random.rand``, ``np.random.seed``,
+  ``np.random.shuffle``...), whose hidden state couples unrelated code;
+- ``np.random.default_rng()`` called **without** a seed, which produces a
+  fresh OS-entropy stream on every call.
+
+Both are flagged.  ``default_rng(seed)``, ``Generator``/bit-generator
+construction and ``Generator`` *type annotations* are fine.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import FileContext
+from ..names import import_aliases, qualified_name
+from ..registry import register
+from ..violations import Violation
+
+__all__ = ["check_rng"]
+
+#: numpy.random attributes that are legitimate to *call*.
+_ALLOWED_CALLS = {
+    "numpy.random.default_rng",
+    "numpy.random.Generator",
+    "numpy.random.SeedSequence",
+    "numpy.random.PCG64",
+    "numpy.random.PCG64DXSM",
+    "numpy.random.Philox",
+    "numpy.random.MT19937",
+    "numpy.random.SFC64",
+    "numpy.random.BitGenerator",
+}
+
+
+@register(
+    "R001",
+    title="no global or unseeded numpy RNG",
+    rationale=(
+        "all randomness must flow from seeded default_rng/Generator objects "
+        "threaded through arguments, or experiments stop being reproducible"
+    ),
+)
+def check_rng(ctx: FileContext) -> Iterator[Violation]:
+    """Flag legacy ``np.random.*`` calls and unseeded ``default_rng()``."""
+    aliases = import_aliases(ctx.tree)
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        qual = qualified_name(node.func, aliases)
+        if qual is None or not qual.startswith("numpy.random."):
+            continue
+        if qual not in _ALLOWED_CALLS:
+            yield Violation(
+                path=ctx.rel,
+                line=node.lineno,
+                col=node.col_offset,
+                rule="R001",
+                message=(
+                    f"call to legacy global RNG `{qual}`; use a seeded "
+                    "`np.random.default_rng(seed)` Generator threaded through "
+                    "arguments instead"
+                ),
+            )
+        elif qual == "numpy.random.default_rng" and not node.args and not node.keywords:
+            yield Violation(
+                path=ctx.rel,
+                line=node.lineno,
+                col=node.col_offset,
+                rule="R001",
+                message=(
+                    "`default_rng()` without a seed draws OS entropy and is "
+                    "not reproducible; pass an explicit seed or thread an "
+                    "existing Generator through"
+                ),
+            )

@@ -1,0 +1,35 @@
+"""S001 — symbolic layer-dimension wiring check.
+
+Thin registry adapter around :mod:`repro.analysis.shapes`: runs the
+abstract interpreter over every class in a file that constructs recognised
+layers (``Linear``/``LSTM``/``GRU``/``MLP``/``SelfAttention``...) and
+reports producer/consumer dimension mismatches in the forward paths.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import FileContext
+from ..registry import register
+from ..shapes import check_module_wiring
+from ..violations import Violation
+
+__all__ = ["check_wiring"]
+
+
+@register(
+    "S001",
+    title="layer dimensions must line up symbolically",
+    rationale=(
+        "mis-wired Linear/LSTM/MLP dims survive unit tests whenever the "
+        "test config makes wrong numbers coincide; symbolic checking "
+        "catches them for every config"
+    ),
+)
+def check_wiring(ctx: FileContext) -> Iterator[Violation]:
+    """Run the symbolic shape checker over every class in the file."""
+    for node in ctx.tree.body:
+        if isinstance(node, ast.ClassDef):
+            yield from check_module_wiring(node, ctx.rel)

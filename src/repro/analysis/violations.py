@@ -1,0 +1,58 @@
+"""Violation records produced by the static-analysis pass.
+
+A :class:`Violation` pins one rule breach to a file and line.  Violations
+are plain frozen dataclasses so they can be sorted, deduplicated, compared
+against a JSON baseline and serialised without ceremony.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict, Iterable, List
+
+__all__ = ["Violation", "format_text", "sort_violations"]
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One rule breach at a specific source location.
+
+    Attributes
+    ----------
+    path:
+        Path of the offending file, relative to the analysis root.
+    line / col:
+        1-based line and 0-based column of the offending node.
+    rule:
+        Rule identifier (``R001`` ... ``R006``, ``S001``).
+    message:
+        Human-readable description of what the rule saw.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def location(self) -> str:
+        """``path:line`` — the canonical way to cite a violation."""
+        return f"{self.path}:{self.line}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form used by the JSON report and baseline files."""
+        return asdict(self)
+
+
+def sort_violations(violations: Iterable[Violation]) -> List[Violation]:
+    """Deterministic report order: by file, then line, then rule id."""
+    return sorted(set(violations))
+
+
+def format_text(violations: Iterable[Violation]) -> str:
+    """Render violations one-per-line, ``path:line:col: RULE message``."""
+    lines = [
+        f"{v.path}:{v.line}:{v.col}: {v.rule} {v.message}"
+        for v in sort_violations(violations)
+    ]
+    return "\n".join(lines)

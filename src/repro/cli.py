@@ -6,9 +6,12 @@ Subcommands::
     repro-tmn train      --kind porto --metric dtw --model TMN --out ckpt
     repro-tmn evaluate   --checkpoint ckpt --kind porto --metric dtw
     repro-tmn experiment table2 --dataset porto --metric dtw [--fast]
+    repro-tmn lint       [paths ...] [--json] [--rules R001,R002]
 
 ``experiment`` regenerates one paper table/figure block and prints the
 paper-style text table; ``--fast`` switches from BENCH to SMOKE scale.
+``lint`` runs the project's static-analysis pass (``repro.analysis``)
+and exits non-zero when violations are found.
 """
 
 from __future__ import annotations
@@ -81,6 +84,13 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--metric", choices=METRIC_NAMES, default="dtw")
     exp.add_argument("--seed", type=int, default=0)
     exp.add_argument("--fast", action="store_true")
+
+    lint = sub.add_parser("lint", help="run the project static-analysis pass")
+    lint.add_argument("paths", nargs="*", default=["src"])
+    lint.add_argument("--tests", default=None, help="tests directory for R003")
+    lint.add_argument("--baseline", default=None, help="JSON suppression file")
+    lint.add_argument("--json", action="store_true", help="machine-readable output")
+    lint.add_argument("--rules", default=None, help="comma-separated rule subset")
     return parser
 
 
@@ -166,6 +176,22 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from .analysis import load_baseline, run_analysis
+
+    baseline = load_baseline(args.baseline) if args.baseline else None
+    rules = [r.strip() for r in args.rules.split(",")] if args.rules else None
+    try:
+        report = run_analysis(
+            args.paths, tests_dir=args.tests, baseline=baseline, rules=rules
+        )
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.to_json() if args.json else report.format_text())
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -174,6 +200,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "train": _cmd_train,
         "evaluate": _cmd_evaluate,
         "experiment": _cmd_experiment,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

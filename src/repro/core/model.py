@@ -28,7 +28,13 @@ def make_rnn(backbone: str, input_size: int, hidden_size: int, rng):
         return GRU(input_size, hidden_size, rng=rng)
     raise KeyError(f"unknown backbone {backbone!r}")
 
-__all__ = ["TrajectoryPairModel", "TMN", "pair_distance_matrix", "pair_cross_distance_matrix"]
+__all__ = [
+    "TrajectoryPairModel",
+    "TMN",
+    "make_rnn",
+    "pair_distance_matrix",
+    "pair_cross_distance_matrix",
+]
 
 
 class TrajectoryPairModel(Module):

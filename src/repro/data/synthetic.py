@@ -66,7 +66,7 @@ def make_geolife_like(
     n_hubs:
         Number of activity centres people travel between.
     """
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = rng if rng is not None else np.random.default_rng(0)
     x0, y0, x1, y1 = GEOLIFE_BBOX
     hubs = np.column_stack(
         [rng.uniform(x0, x1, size=n_hubs), rng.uniform(y0, y1, size=n_hubs)]
@@ -122,7 +122,7 @@ def make_porto_like(
     probability — producing the piecewise-straight, corridor-sharing
     structure of road-network trajectories.
     """
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = rng if rng is not None else np.random.default_rng(0)
     x0, y0, x1, y1 = PORTO_BBOX
     n_cols = int((x1 - x0) / grid_step)
     n_rows = int((y1 - y0) / grid_step)

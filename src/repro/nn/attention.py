@@ -95,7 +95,7 @@ class SelfAttention(Module):
         super().__init__()
         if dim <= 0:
             raise ValueError("attention dim must be positive")
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else np.random.default_rng(0)
         self.dim = dim
         self.w_q = Parameter(init.xavier_uniform((dim, dim), rng), name="w_q")
         self.w_k = Parameter(init.xavier_uniform((dim, dim), rng), name="w_k")

@@ -26,7 +26,7 @@ class GRUCell(Module):
         super().__init__()
         if input_size <= 0 or hidden_size <= 0:
             raise ValueError("GRU sizes must be positive")
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else np.random.default_rng(0)
         self.input_size = input_size
         self.hidden_size = hidden_size
         h = hidden_size

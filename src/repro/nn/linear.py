@@ -32,7 +32,7 @@ class Linear(Module):
         super().__init__()
         if in_features <= 0 or out_features <= 0:
             raise ValueError("Linear features must be positive")
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else np.random.default_rng(0)
         self.in_features = in_features
         self.out_features = out_features
         self.weight = Parameter(
@@ -73,7 +73,7 @@ class MLP(Module):
         super().__init__()
         if len(sizes) < 2:
             raise ValueError("MLP needs at least an input and an output size")
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else np.random.default_rng(0)
         self.activation = activation if activation is not None else LeakyReLU(0.1)
         self.final_activation = final_activation
         self.linears = []

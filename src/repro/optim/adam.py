@@ -70,4 +70,5 @@ class Adam:
             self._v[i] = self.beta2 * self._v[i] + (1.0 - self.beta2) * grad * grad
             m_hat = self._m[i] / bias1
             v_hat = self._v[i] / bias2
-            p.data = p.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            # Sanctioned in-place update: no tape is alive between steps.
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)  # lint: allow(R002)

@@ -47,4 +47,5 @@ class SGD:
             if self.momentum:
                 self._velocity[i] = self.momentum * self._velocity[i] + grad
                 grad = self._velocity[i]
-            p.data = p.data - self.lr * grad
+            # Sanctioned in-place update: no tape is alive between steps.
+            p.data -= self.lr * grad  # lint: allow(R002)

@@ -147,6 +147,14 @@ class TestSelection:
         np.testing.assert_allclose(clip(x, 0.0, None).data, [0.0, 2.0])
         np.testing.assert_allclose(clip(x, None, 0.0).data, [-2.0, 0.0])
 
+    def test_clip_gradcheck(self):
+        # Points kept away from the clip boundaries, where the kink would
+        # invalidate the central finite difference.
+        x = np.array([-1.7, -0.4, 0.3, 0.9, 1.6])
+        check_gradients(lambda t: clip(t, -1.0, 1.0) * 2.0, [x])
+        check_gradients(lambda t: clip(t, 0.0, None), [x])
+        check_gradients(lambda t: clip(t, None, 0.5), [x])
+
 
 class TestDistances:
     def test_euclidean_value(self):
@@ -169,6 +177,11 @@ class TestDistances:
         np.testing.assert_allclose(
             dot_rows(Tensor(a), Tensor(b)).data, (a * b).sum(axis=-1)
         )
+
+    def test_dot_rows_gradcheck(self, rng):
+        a = rng.normal(size=(4, 3))
+        b = rng.normal(size=(4, 3))
+        check_gradients(lambda x, y: dot_rows(x, y), [a, b])
 
 
 @settings(max_examples=25, deadline=None)

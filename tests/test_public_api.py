@@ -1,12 +1,18 @@
 """Sanity checks on the public API surface: exports resolve, __all__ is
-accurate, and the package-level quickstart from the docstring runs."""
+accurate, the linter's static view agrees with the imported one, and the
+package-level quickstart from the docstring runs."""
 
+import ast
 import importlib
+from pathlib import Path
 
 import pytest
 
+from repro.analysis.rules.api import declared_all, public_surface
+
 PACKAGES = [
     "repro",
+    "repro.analysis",
     "repro.autograd",
     "repro.nn",
     "repro.optim",
@@ -32,6 +38,30 @@ def test_all_exports_resolve(name):
 def test_module_docstrings_present(name):
     module = importlib.import_module(name)
     assert module.__doc__ and module.__doc__.strip(), f"{name} lacks a docstring"
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_static_all_matches_runtime(name):
+    """The linter's parsed view of __all__ must equal the imported one.
+
+    This is what lets rule R005 reason about the API without importing:
+    if the two ever diverge (e.g. __all__ mutated at import time), the
+    static guarantees stop meaning anything.
+    """
+    module = importlib.import_module(name)
+    tree = ast.parse(Path(module.__file__).read_text())
+    static = declared_all(tree)
+    assert static is not None, f"{name}: __all__ is not a literal list"
+    assert sorted(static) == sorted(module.__all__), name
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_public_surface_is_exported(name):
+    """Every public top-level def/class must appear in __all__ (R005)."""
+    module = importlib.import_module(name)
+    tree = ast.parse(Path(module.__file__).read_text())
+    for node in public_surface(tree):
+        assert node.name in module.__all__, f"{name}.{node.name} unexported"
 
 
 def test_version_string():
