@@ -1,6 +1,6 @@
 # Convenience targets for the TMN reproduction.
 
-.PHONY: install test lint bench bench-fast examples clean
+.PHONY: install test lint bench bench-fast bench-json profile examples clean
 
 install:
 	pip install -e .
@@ -16,6 +16,18 @@ bench:
 
 bench-fast:
 	REPRO_BENCH_FAST=1 pytest benchmarks/ --benchmark-only
+
+# Full-scale bench run whose deliverable is the machine-readable
+# BENCH_results.json perf/quality trajectory (written by benchmarks/conftest.py).
+bench-json:
+	REPRO_BENCH_JSON=BENCH_results.json pytest benchmarks/ --benchmark-only
+
+# Smoke-train with the autograd op profiler on: prints the per-op table and
+# leaves a JSONL run record under runs/.
+profile:
+	PYTHONPATH=src python -m repro.cli train --kind porto --metric dtw \
+		--model TMN --fast --epochs 1 --profile \
+		--log-json runs/profile.jsonl --out runs/profile-ckpt
 
 examples:
 	python examples/quickstart.py

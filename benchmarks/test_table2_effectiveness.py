@@ -30,19 +30,23 @@ def run_block(corpus, metric, scale):
 
 
 @pytest.mark.parametrize("metric", METRIC_NAMES)
-def test_table2_porto(benchmark, porto, scale, metric):
+def test_table2_porto(benchmark, porto, scale, metric, bench_record):
     results = benchmark.pedantic(
         run_block, args=(porto, metric, scale), rounds=1, iterations=1
     )
     assert all(0.0 <= v <= 1.0 for r in results for v in r.scores.values())
     tmn = next(r for r in results if r.model_name == "TMN")
+    bench_record(**{f"TMN.{k}": v for k, v in tmn.scores.items()})
+    bench_record(**{"TMN.final_loss": tmn.final_loss})
     assert tmn.scores["HR-10"] > 0.2  # sanity floor: far above random
 
 
 @pytest.mark.parametrize("metric", METRIC_NAMES)
-def test_table2_geolife(benchmark, geolife, scale, metric):
+def test_table2_geolife(benchmark, geolife, scale, metric, bench_record):
     results = benchmark.pedantic(
         run_block, args=(geolife, metric, scale), rounds=1, iterations=1
     )
     tmn = next(r for r in results if r.model_name == "TMN")
+    bench_record(**{f"TMN.{k}": v for k, v in tmn.scores.items()})
+    bench_record(**{"TMN.final_loss": tmn.final_loss})
     assert tmn.scores["HR-10"] > 0.2

@@ -14,7 +14,7 @@ Paper shape being reproduced:
 from repro.experiments import efficiency_table, format_efficiency
 
 
-def test_table3(benchmark, porto, scale):
+def test_table3(benchmark, porto, scale, bench_record):
     rows = benchmark.pedantic(
         efficiency_table,
         args=(porto, scale),
@@ -27,6 +27,10 @@ def test_table3(benchmark, porto, scale):
     )
     print()
     print(format_efficiency(rows))
+    for r in rows:
+        for phase in ("training_s", "inference_s", "computation_s"):
+            if r[phase] is not None:
+                bench_record(**{f"{r['method']}.{phase}": r[phase]})
 
     exact = {r["method"]: r for r in rows if r["training_s"] is None}
     learned = {r["method"]: r for r in rows if r["training_s"] is not None}

@@ -13,6 +13,7 @@ R003      every differentiable op needs a finite-difference gradcheck test
 R004      float64 engine discipline — no float32/float16 drift
 R005      ``__all__`` must match each module's actual public surface
 R006      docstrings on public functions, classes and methods
+R007      no bare ``print`` in library code (use ``repro.obs.log``)
 S001      symbolic layer-dimension wiring check (no model execution)
 ========  ==============================================================
 

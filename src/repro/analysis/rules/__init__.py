@@ -8,9 +8,10 @@ Importing this package registers every rule with
 - R003 (:mod:`.coverage`) — every differentiable op has a gradcheck test;
 - R004 (:mod:`.dtype`) — float64 engine discipline, no narrow-float drift;
 - R005/R006 (:mod:`.api`) — ``__all__`` accuracy and public docstrings;
+- R007 (:mod:`.prints`) — no bare ``print`` in library code;
 - S001 (:mod:`.wiring`) — symbolic layer-dimension checking.
 """
 
-from . import api, coverage, dtype, mutation, rng, wiring
+from . import api, coverage, dtype, mutation, prints, rng, wiring
 
-__all__ = ["api", "coverage", "dtype", "mutation", "rng", "wiring"]
+__all__ = ["api", "coverage", "dtype", "mutation", "prints", "rng", "wiring"]

@@ -1,0 +1,61 @@
+"""R007 — no bare ``print`` in library code.
+
+Library modules must report through :mod:`repro.obs.log` (structured,
+leveled, JSONL-mirrorable) instead of ``print``: bare prints bypass the
+run record, cannot be silenced or redirected by callers, and interleave
+with CLI result tables on stdout.  Front-ends whose *product* is text on
+stdout are exempt: the ``repro-tmn`` CLI (``cli.py``), the analysis
+tooling itself (``repro/analysis/``) and ``__main__.py`` scripts.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import FileContext
+from ..registry import register
+from ..violations import Violation
+
+__all__ = ["check_no_print", "is_front_end"]
+
+
+def is_front_end(rel: str) -> bool:
+    """Whether a report-relative path is an exempt stdout front-end."""
+    return (
+        rel.endswith("cli.py")
+        or rel.endswith("__main__.py")
+        or "analysis/" in rel
+    )
+
+
+@register(
+    "R007",
+    title="no bare print in library code",
+    rationale=(
+        "library modules must report through repro.obs.log so events are "
+        "leveled, structured and mirrorable to JSONL; bare prints bypass "
+        "the run record and pollute CLI stdout"
+    ),
+)
+def check_no_print(ctx: FileContext) -> Iterator[Violation]:
+    """Flag every ``print(...)`` call outside the exempt front-ends."""
+    if is_front_end(ctx.rel):
+        return
+    for node in ast.walk(ctx.tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+        ):
+            yield Violation(
+                path=ctx.rel,
+                line=node.lineno,
+                col=node.col_offset,
+                rule="R007",
+                message=(
+                    "bare `print` in library code; use "
+                    "`repro.obs.log.get_logger(...)` (or return a string "
+                    "for the CLI to print)"
+                ),
+            )

@@ -20,12 +20,13 @@ from .ops import (
     stack,
     where,
 )
-from .tensor import Tensor, is_grad_enabled, no_grad
+from .tensor import Tensor, is_grad_enabled, no_grad, profiled_op
 
 __all__ = [
     "Tensor",
     "no_grad",
     "is_grad_enabled",
+    "profiled_op",
     "softmax",
     "masked_softmax",
     "concat",

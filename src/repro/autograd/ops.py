@@ -12,7 +12,7 @@ from typing import Optional, Sequence, Union
 
 import numpy as np
 
-from .tensor import Tensor, _unbroadcast
+from .tensor import Tensor, _unbroadcast, profiled_op
 
 ArrayLike = Union[np.ndarray, float, int]
 
@@ -30,6 +30,7 @@ __all__ = [
 ]
 
 
+@profiled_op
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable softmax along ``axis``."""
     shifted = x.data - x.data.max(axis=axis, keepdims=True)
@@ -45,6 +46,7 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
     return out
 
 
+@profiled_op
 def masked_softmax(x: Tensor, mask: np.ndarray, axis: int = -1) -> Tensor:
     """Softmax that ignores positions where ``mask`` is False.
 
@@ -79,6 +81,7 @@ def masked_softmax(x: Tensor, mask: np.ndarray, axis: int = -1) -> Tensor:
     return out
 
 
+@profiled_op
 def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
     """Concatenate tensors along ``axis`` (autodiff-aware ``np.concatenate``)."""
     tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
@@ -96,6 +99,7 @@ def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
     return out
 
 
+@profiled_op
 def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     """Stack tensors along a new axis (autodiff-aware ``np.stack``)."""
     tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
@@ -110,6 +114,7 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     return out
 
 
+@profiled_op
 def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
     """Elementwise select: ``a`` where ``condition`` else ``b``."""
     condition = np.asarray(condition, dtype=bool)
@@ -125,6 +130,7 @@ def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
     return out
 
 
+@profiled_op
 def maximum(a: Tensor, b: Tensor) -> Tensor:
     """Elementwise maximum; ties send the full gradient to ``a``."""
     a = a if isinstance(a, Tensor) else Tensor(a)
@@ -133,6 +139,7 @@ def maximum(a: Tensor, b: Tensor) -> Tensor:
     return where(take_a, a, b)
 
 
+@profiled_op
 def minimum(a: Tensor, b: Tensor) -> Tensor:
     """Elementwise minimum; ties send the full gradient to ``a``."""
     a = a if isinstance(a, Tensor) else Tensor(a)
@@ -141,6 +148,7 @@ def minimum(a: Tensor, b: Tensor) -> Tensor:
     return where(take_a, a, b)
 
 
+@profiled_op
 def clip(x: Tensor, low: Optional[float], high: Optional[float]) -> Tensor:
     """Clamp values into ``[low, high]``; gradient is zero outside the range."""
     lo = -np.inf if low is None else low
@@ -155,6 +163,7 @@ def clip(x: Tensor, low: Optional[float], high: Optional[float]) -> Tensor:
     return out
 
 
+@profiled_op
 def euclidean_distance(a: Tensor, b: Tensor, axis: int = -1, eps: float = 1e-12) -> Tensor:
     """Euclidean distance ``||a - b||`` along ``axis``.
 
@@ -167,6 +176,7 @@ def euclidean_distance(a: Tensor, b: Tensor, axis: int = -1, eps: float = 1e-12)
     return (sq + eps).sqrt()
 
 
+@profiled_op
 def dot_rows(a: Tensor, b: Tensor) -> Tensor:
     """Row-wise dot product of two equally shaped tensors along the last axis."""
     return (a * b).sum(axis=-1)

@@ -16,15 +16,53 @@ Gradients are validated against central finite differences in the test suite
 
 from __future__ import annotations
 
+import functools
 from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled"]
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "profiled_op"]
 
 _GRAD_ENABLED = True
+
+#: Active op profiler (see :mod:`repro.obs.profile`), or None.  Kept here so
+#: every op — Tensor method or free function — can reach it with one global
+#: read; installing/removing it is the profiler's job via :func:`_set_profiler`.
+_PROFILER = None
+
+
+def _set_profiler(profiler) -> None:
+    """Install (or, with None, remove) the active op profiler.
+
+    Called only by :class:`repro.obs.profile.OpProfiler`; the engine itself
+    never imports ``repro.obs``.
+    """
+    global _PROFILER
+    _PROFILER = profiler
+
+
+def profiled_op(fn):
+    """Make a free-function autodiff op visible to the op profiler.
+
+    Tensor *methods* are intercepted by class-attribute patching while a
+    profiler is enabled, which costs nothing when disabled.  Free-function
+    ops (``repro.autograd.ops``, ``repro.nn.fused``) are bound by name at
+    their import sites, so patching cannot reach them; this decorator adds
+    the hook at the definition instead.  Disabled cost is one global read
+    per call.  The original is kept on ``__wrapped__`` (via functools).
+    """
+    name = fn.__name__
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        profiler = _PROFILER
+        if profiler is None:
+            return fn(*args, **kwargs)
+        return profiler.call(name, fn, args, kwargs)
+
+    return wrapper
 
 
 class no_grad:

@@ -3,20 +3,26 @@
 Subcommands::
 
     repro-tmn generate   --kind porto --n 200 --seed 0 --out corpus
-    repro-tmn train      --kind porto --metric dtw --model TMN --out ckpt
+    repro-tmn train      --kind porto --metric dtw --model TMN --out ckpt \
+                         [--profile] [--log-json runs/run.jsonl]
     repro-tmn evaluate   --checkpoint ckpt --kind porto --metric dtw
     repro-tmn experiment table2 --dataset porto --metric dtw [--fast]
+    repro-tmn report     runs/run.jsonl
     repro-tmn lint       [paths ...] [--json] [--rules R001,R002]
 
 ``experiment`` regenerates one paper table/figure block and prints the
 paper-style text table; ``--fast`` switches from BENCH to SMOKE scale.
-``lint`` runs the project's static-analysis pass (``repro.analysis``)
-and exits non-zero when violations are found.
+``train --log-json`` persists a JSONL run record (config, seed, per-epoch
+loss/grad-norm/timing) and ``--profile`` times every autograd op;
+``report`` pretty-prints a run record.  ``lint`` runs the project's
+static-analysis pass (``repro.analysis``) and exits non-zero when
+violations are found.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from typing import List, Optional
 
@@ -67,6 +73,17 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--epochs", type=int, default=None)
     train.add_argument("--fast", action="store_true", help="SMOKE scale")
     train.add_argument("--out", required=True, help="checkpoint path prefix")
+    train.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile autograd ops during training and print the op table",
+    )
+    train.add_argument(
+        "--log-json",
+        default=None,
+        metavar="PATH",
+        help="write a JSONL run record (config, seed, per-epoch stats)",
+    )
 
     ev = sub.add_parser("evaluate", help="evaluate a checkpoint on a fresh test split")
     ev.add_argument("--checkpoint", required=True)
@@ -84,6 +101,9 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--metric", choices=METRIC_NAMES, default="dtw")
     exp.add_argument("--seed", type=int, default=0)
     exp.add_argument("--fast", action="store_true")
+
+    report = sub.add_parser("report", help="pretty-print a JSONL run record")
+    report.add_argument("path", help="run record written by train --log-json")
 
     lint = sub.add_parser("lint", help="run the project static-analysis pass")
     lint.add_argument("paths", nargs="*", default=["src"])
@@ -108,6 +128,8 @@ def _cmd_generate(args) -> int:
 
 
 def _cmd_train(args) -> int:
+    from .obs import OpProfiler, RunWriter, format_op_table
+
     scale = _scale(args.fast)
     corpus = load_corpus(args.kind, scale, seed=args.seed)
     model, config = build_model(args.model, scale, seed=args.seed)
@@ -115,7 +137,35 @@ def _cmd_train(args) -> int:
         config = config.with_updates(epochs=args.epochs)
         model = type(model)(config)
     trainer = Trainer(model, config, metric=args.metric)
-    history = trainer.fit(corpus.train_points, verbose=True)
+
+    writer = None
+    if args.log_json:
+        writer = RunWriter(
+            args.log_json,
+            name=f"{args.model}-{args.kind}-{args.metric}",
+            config=dataclasses.asdict(config),
+            seed=args.seed,
+            metric=args.metric,
+        )
+    profiler = OpProfiler() if args.profile else None
+    try:
+        if profiler is not None:
+            profiler.enable()
+        history = trainer.fit(
+            corpus.train_points,
+            verbose=True,
+            on_epoch=writer.write_epoch if writer else None,
+        )
+    finally:
+        if profiler is not None:
+            profiler.disable()
+    if writer is not None:
+        writer.finish(
+            final_loss=history.final_loss,
+            op_profile=profiler.snapshot() if profiler else None,
+        )
+    if profiler is not None:
+        print(format_op_table(profiler.snapshot()))
     path = save_model(model, args.out)
     print(f"final loss {history.final_loss:.5f}; checkpoint at {path}")
     return 0
@@ -176,6 +226,18 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_report(args) -> int:
+    from .obs import format_run, read_run
+
+    try:
+        record = read_run(args.path)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(format_run(record))
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from .analysis import load_baseline, run_analysis
 
@@ -200,9 +262,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "train": _cmd_train,
         "evaluate": _cmd_evaluate,
         "experiment": _cmd_experiment,
+        "report": _cmd_report,
         "lint": _cmd_lint,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early; not an error.
+        return 0
 
 
 if __name__ == "__main__":

@@ -10,13 +10,16 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Union
+from typing import Callable, List, Optional, Sequence, Union
 
 import numpy as np
 
 from ..autograd import concat
 from ..metrics import MetricSpec, get_metric, pairwise_distance_matrix
 from ..nn import gather_last
+from ..obs.log import get_logger
+from ..obs.metrics import get_registry
+from ..obs.spans import SpanRecorder, diff_totals
 from ..optim import Adam, clip_grad_norm
 from .config import TMNConfig, alpha_for_metric
 from .loss import pair_loss
@@ -26,6 +29,8 @@ from .similarity import distance_to_similarity, predicted_similarity
 
 __all__ = ["Trainer", "TrainingHistory"]
 
+_log = get_logger("repro.trainer")
+
 
 @dataclass
 class TrainingHistory:
@@ -34,6 +39,9 @@ class TrainingHistory:
     metric: str
     epoch_losses: List[float] = field(default_factory=list)
     epoch_seconds: List[float] = field(default_factory=list)
+    #: Mean pre-clip global gradient norm per epoch (same length as
+    #: ``epoch_losses``) — the number ``clip_grad_norm`` used to discard.
+    grad_norms: List[float] = field(default_factory=list)
     stopped_early: bool = False
 
     @property
@@ -75,6 +83,9 @@ class Trainer:
         # (0, 1) instead of collapsing to zero.
         self.effective_alpha: float = self.alpha
         self.optimizer = Adam(model.parameters(), lr=config.learning_rate)
+        #: Hierarchical wall-time breakdown of :meth:`fit` (fresh per trainer):
+        #: epoch → sampling / batch → forward / loss / backward / optimizer.
+        self.spans = SpanRecorder()
 
     # ------------------------------------------------------------------
     def fit(
@@ -82,6 +93,7 @@ class Trainer:
         train_trajs: Sequence,
         distances: Optional[np.ndarray] = None,
         verbose: bool = False,
+        on_epoch: Optional[Callable[[dict], None]] = None,
     ) -> TrainingHistory:
         """Train the model on a trajectory collection.
 
@@ -92,6 +104,12 @@ class Trainer:
         distances:
             Optional precomputed ground-truth matrix ``D`` (saves the exact
             computation when several models share one training set).
+        verbose:
+            Log one structured event per epoch via :mod:`repro.obs.log`.
+        on_epoch:
+            Optional callback receiving one dict per epoch — ``{"epoch",
+            "loss", "grad_norm", "seconds", "lr", "spans"}`` — the payload
+            :class:`repro.obs.run.RunWriter` persists as a JSONL line.
         """
         points = [t.points if hasattr(t, "points") else np.asarray(t, float) for t in train_trajs]
         if len(points) < self.config.sampling_number + 1:
@@ -100,7 +118,8 @@ class Trainer:
                 f"training trajectories, got {len(points)}"
             )
         if distances is None:
-            distances = pairwise_distance_matrix(points, self.metric)
+            with self.spans.span("exact-metric"):
+                distances = pairwise_distance_matrix(points, self.metric)
         distances = np.asarray(distances)
         if distances.shape != (len(points), len(points)):
             raise ValueError("distance matrix does not match the training set")
@@ -115,26 +134,52 @@ class Trainer:
         history = TrainingHistory(metric=self.metric.name)
 
         self.model.train()
+        metrics = get_registry()
         best_loss = np.inf
         stale_epochs = 0
         for _ in range(self.config.epochs):
             start = time.perf_counter()
+            spans_before = self.spans.totals()
             losses: List[float] = []
+            norms: List[float] = []
             anchors = rng.permutation(len(points))
-            for chunk_start in range(0, len(anchors), self.config.batch_anchors):
-                batch_anchors = anchors[chunk_start : chunk_start + self.config.batch_anchors]
-                samples: List[PairSample] = []
-                for a in batch_anchors:
-                    samples.extend(sampler.sample(int(a), rng))
-                loss_value = self._train_step(points, distances, samples)
-                losses.append(loss_value)
+            with self.spans.span("epoch"):
+                for chunk_start in range(0, len(anchors), self.config.batch_anchors):
+                    batch_anchors = anchors[chunk_start : chunk_start + self.config.batch_anchors]
+                    samples: List[PairSample] = []
+                    with self.spans.span("sampling"):
+                        for a in batch_anchors:
+                            samples.extend(sampler.sample(int(a), rng))
+                    loss_value, grad_norm = self._train_step(points, distances, samples)
+                    losses.append(loss_value)
+                    norms.append(grad_norm)
+                    metrics.counter("train.steps").inc()
+                    metrics.counter("train.pairs").inc(len(samples))
+                    metrics.histogram("train.grad_norm").observe(grad_norm)
             history.epoch_losses.append(float(np.mean(losses)))
             history.epoch_seconds.append(time.perf_counter() - start)
+            history.grad_norms.append(float(np.mean(norms)))
+            metrics.counter("train.epochs").inc()
+            metrics.gauge("train.last_loss").set(history.epoch_losses[-1])
             if verbose:
-                print(
-                    f"[{self.metric.name}] epoch {len(history.epoch_losses)}: "
-                    f"loss={history.epoch_losses[-1]:.6f} "
-                    f"({history.epoch_seconds[-1]:.1f}s)"
+                _log.info(
+                    "epoch",
+                    metric=self.metric.name,
+                    epoch=len(history.epoch_losses),
+                    loss=history.epoch_losses[-1],
+                    grad_norm=history.grad_norms[-1],
+                    seconds=history.epoch_seconds[-1],
+                )
+            if on_epoch is not None:
+                on_epoch(
+                    {
+                        "epoch": len(history.epoch_losses),
+                        "loss": history.epoch_losses[-1],
+                        "grad_norm": history.grad_norms[-1],
+                        "seconds": history.epoch_seconds[-1],
+                        "lr": self.optimizer.lr,
+                        "spans": diff_totals(self.spans.totals(), spans_before),
+                    }
                 )
             if self.config.patience is not None:
                 current = history.epoch_losses[-1]
@@ -160,33 +205,41 @@ class Trainer:
             n_far=self.config.kd_neighbors,
         )
 
-    def _train_step(self, points, distances, samples: List[PairSample]) -> float:
+    def _train_step(self, points, distances, samples: List[PairSample]):
+        """One optimisation step; returns ``(loss, pre-clip grad norm)``."""
         from ..data.batching import pair_batch
 
-        trajs_a = [points[s.anchor] for s in samples]
-        trajs_b = [points[s.sample] for s in samples]
-        pa, la, ma, pb, lb, mb = pair_batch(trajs_a, trajs_b)
-        out_a, out_b = self.model.forward_pair(pa, la, ma, pb, lb, mb)
-        emb_a = gather_last(out_a, la)
-        emb_b = gather_last(out_b, lb)
-        pred = predicted_similarity(emb_a, emb_b)
+        with self.spans.span("batch"):
+            with self.spans.span("forward"):
+                trajs_a = [points[s.anchor] for s in samples]
+                trajs_b = [points[s.sample] for s in samples]
+                pa, la, ma, pb, lb, mb = pair_batch(trajs_a, trajs_b)
+                out_a, out_b = self.model.forward_pair(pa, la, ma, pb, lb, mb)
+                emb_a = gather_last(out_a, la)
+                emb_b = gather_last(out_b, lb)
+                pred = predicted_similarity(emb_a, emb_b)
 
-        anchor_idx = np.array([s.anchor for s in samples])
-        sample_idx = np.array([s.sample for s in samples])
-        weights = np.array([s.weight for s in samples])
-        true = distance_to_similarity(distances[anchor_idx, sample_idx], self.effective_alpha)
+            with self.spans.span("loss"):
+                anchor_idx = np.array([s.anchor for s in samples])
+                sample_idx = np.array([s.sample for s in samples])
+                weights = np.array([s.weight for s in samples])
+                true = distance_to_similarity(
+                    distances[anchor_idx, sample_idx], self.effective_alpha
+                )
 
-        loss = pair_loss(self.config.loss, pred, true, weights)
-        if self.config.sub_loss:
-            sub = self._sub_trajectory_loss(pa, la, pb, lb, out_a, out_b, weights)
-            if sub is not None:
-                loss = loss + sub
+                loss = pair_loss(self.config.loss, pred, true, weights)
+                if self.config.sub_loss:
+                    sub = self._sub_trajectory_loss(pa, la, pb, lb, out_a, out_b, weights)
+                    if sub is not None:
+                        loss = loss + sub
 
-        self.optimizer.zero_grad()
-        loss.backward()
-        clip_grad_norm(self.model.parameters(), self.config.grad_clip)
-        self.optimizer.step()
-        return float(loss.item())
+            with self.spans.span("backward"):
+                self.optimizer.zero_grad()
+                loss.backward()
+            with self.spans.span("optimizer"):
+                grad_norm = clip_grad_norm(self.model.parameters(), self.config.grad_clip)
+                self.optimizer.step()
+        return float(loss.item()), float(grad_norm)
 
     def _sub_trajectory_loss(self, pa, la, pb, lb, out_a, out_b, weights):
         """Eq. 15: prefix supervision every ``sub_stride`` points.
@@ -207,7 +260,8 @@ class Trainer:
             if idx.size == 0:
                 continue
             cut_len = np.full(idx.size, cut)
-            prefix_dist = self.metric.batch(pa[idx, :cut], pb[idx, :cut], cut_len, cut_len)
+            with self.spans.span("exact-metric"):
+                prefix_dist = self.metric.batch(pa[idx, :cut], pb[idx, :cut], cut_len, cut_len)
             trues.append(distance_to_similarity(prefix_dist, self.effective_alpha))
             emb_a = out_a[idx, cut - 1]
             emb_b = out_b[idx, cut - 1]

@@ -22,7 +22,12 @@ from ..eval import (
     time_vector_similarity,
 )
 from ..metrics import pairwise_distance_matrix
+from ..obs.log import get_logger
+from ..obs.metrics import get_registry
+from ..obs.spans import span
 from .configs import MODEL_NAMES, Scale, build_model
+
+_log = get_logger("repro.experiments")
 
 __all__ = ["Corpus", "RunResult", "load_corpus", "run_model", "effectiveness_table", "efficiency_table"]
 
@@ -109,10 +114,23 @@ def run_model(
         config = config.with_updates(**config_overrides)
         model = type(model)(config)  # every model takes its config first
     trainer = Trainer(model, config, metric=metric)
-    history = trainer.fit(corpus.train_points, distances=corpus.train_distances(metric))
-    pred = pair_distance_matrix(model, corpus.test_points)
-    scores = evaluate_rankings(
-        corpus.test_distances(metric), pred, hr_ks=HR_KS, recall=RECALL
+    with span("experiment"):
+        with span("train"):
+            history = trainer.fit(corpus.train_points, distances=corpus.train_distances(metric))
+        with span("predict"):
+            pred = pair_distance_matrix(model, corpus.test_points)
+        with span("evaluate"):
+            scores = evaluate_rankings(
+                corpus.test_distances(metric), pred, hr_ks=HR_KS, recall=RECALL
+            )
+    get_registry().counter("experiments.models_trained").inc()
+    _log.debug(
+        "run_model",
+        model=name,
+        metric=metric,
+        dataset=corpus.kind,
+        final_loss=history.final_loss,
+        grad_norm=history.grad_norms[-1],
     )
     return RunResult(
         model_name=name,

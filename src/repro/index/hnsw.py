@@ -17,6 +17,8 @@ from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
+from ..obs.metrics import get_registry
+
 __all__ = ["HNSWIndex"]
 
 
@@ -100,6 +102,7 @@ class HNSWIndex:
             raise ValueError(f"expected vector of dim {self.dim}, got {vector.shape}")
         node = len(self.vectors)
         self.vectors.append(vector)
+        get_registry().counter("index.hnsw.inserts").inc()
         level = self._random_level()
         while len(self._neighbors) <= level:
             self._neighbors.append({})
@@ -158,9 +161,17 @@ class HNSWIndex:
             raise ValueError(f"k must be in [1, {len(self.vectors)}]")
         ef = max(ef if ef is not None else self.ef_construction, k)
         entry = self._entry
+        visited = 0
         for l in range(self._max_level, 0, -1):
-            entry = self._search_layer(vector, entry, ef=1, layer=l)[0][1]
-        found = self._search_layer(vector, entry, ef=ef, layer=0)[:k]
+            layer_best = self._search_layer(vector, entry, ef=1, layer=l)
+            visited += len(layer_best)
+            entry = layer_best[0][1]
+        found = self._search_layer(vector, entry, ef=ef, layer=0)
+        visited += len(found)
+        found = found[:k]
+        registry = get_registry()
+        registry.counter("index.hnsw.queries").inc()
+        registry.counter("index.hnsw.candidates_scanned").inc(visited)
         ids = np.array([i for _, i in found], dtype=int)
         dists = np.sqrt(np.array([d for d, _ in found]))
         return dists, ids

@@ -14,7 +14,7 @@ from typing import Tuple
 
 import numpy as np
 
-from ..autograd import Tensor
+from ..autograd import Tensor, profiled_op
 
 __all__ = ["fused_lstm_step"]
 
@@ -23,6 +23,7 @@ def _sigmoid(x: np.ndarray) -> np.ndarray:
     return 1.0 / (1.0 + np.exp(-x))
 
 
+@profiled_op
 def fused_lstm_step(
     x: Tensor,
     h: Tensor,

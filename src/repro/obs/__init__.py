@@ -1,0 +1,52 @@
+"""repro.obs — structured run telemetry for the TMN reproduction.
+
+The training loop is the part of the paper we must trust most, and
+"runs as fast as the hardware allows" (ROADMAP) is only an honest claim
+when the measurement layer exists first.  This package provides it:
+
+- :mod:`repro.obs.metrics` — process-local registry of counters, gauges
+  and histograms with snapshot/reset;
+- :mod:`repro.obs.spans` — hierarchical wall-time spans (context manager
+  + decorator): epoch → batch → forward/backward/optimizer/sampling;
+- :mod:`repro.obs.profile` — opt-in autograd op profiler (per-op call
+  counts, forward/backward seconds), near-zero overhead when disabled;
+- :mod:`repro.obs.log` — leveled structured logging, human lines on
+  stderr plus an optional JSONL mirror;
+- :mod:`repro.obs.run` — JSONL run records (config, seed, per-epoch
+  loss/grad-norm/timing, final eval) written by ``repro-tmn train
+  --log-json`` and rendered by ``repro-tmn report``.
+
+Overhead policy: always-on instrumentation (registry counters, batch-level
+spans, the free-function op guard) must stay under a few hundred
+nanoseconds per event; anything heavier (per-op timing) is opt-in and
+documented as such.  See DESIGN.md §9.
+"""
+
+from .log import Logger, configure, get_logger
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, get_registry
+from .profile import OpProfiler, OpStat, format_op_table
+from .run import RunRecord, RunWriter, format_run, read_run
+from .spans import SpanRecorder, default_recorder, diff_totals, format_spans, span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Logger",
+    "MetricsRegistry",
+    "OpProfiler",
+    "OpStat",
+    "RunRecord",
+    "RunWriter",
+    "SpanRecorder",
+    "configure",
+    "default_recorder",
+    "diff_totals",
+    "format_op_table",
+    "format_run",
+    "format_spans",
+    "get_logger",
+    "get_registry",
+    "read_run",
+    "span",
+]

@@ -1,0 +1,126 @@
+"""Structured event logging: human lines on stderr, JSONL on request.
+
+Library code (trainer, experiment runner) logs *events with fields*
+rather than formatted strings::
+
+    log = get_logger("repro.trainer")
+    log.info("epoch", epoch=3, loss=0.0123, grad_norm=2.41, seconds=1.8)
+
+By default events render as one human-readable line on ``sys.stderr`` —
+keeping ``stdout`` clean for CLI result tables — and can additionally be
+mirrored verbatim to a JSONL file via :func:`configure`.  This replaces
+the bare ``print`` calls the lint rule R007 now forbids in library code.
+
+The module is deliberately tiny (no stdlib ``logging`` hierarchy): one
+global sink configuration, leveled loggers cached by name, dict events.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import Dict, IO, Optional
+
+__all__ = ["Logger", "configure", "get_logger"]
+
+#: Numeric severity per level name, stdlib-compatible ordering.
+_LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+# Module-global sink configuration (process-local, like the registry).
+_STATE = {
+    "level": _LEVELS["info"],
+    "stream": None,  # None -> sys.stderr resolved at emit time
+    "json_file": None,  # open file handle for the JSONL mirror
+}
+
+_LOGGERS: Dict[str, "Logger"] = {}
+
+
+def configure(
+    level: str = "info",
+    stream: Optional[IO] = None,
+    json_path: Optional[str] = None,
+) -> None:
+    """(Re)configure the global sinks.
+
+    Parameters
+    ----------
+    level:
+        Minimum severity emitted ("debug", "info", "warning", "error").
+    stream:
+        Text stream for human-readable lines; defaults to ``sys.stderr``
+        (resolved at emit time so pytest capture works).
+    json_path:
+        When given, every emitted event is also appended to this file as
+        one JSON object per line.  ``None`` closes any previous mirror.
+    """
+    if level not in _LEVELS:
+        raise ValueError(f"unknown log level {level!r}")
+    _STATE["level"] = _LEVELS[level]
+    _STATE["stream"] = stream
+    if _STATE["json_file"] is not None:
+        _STATE["json_file"].close()
+    _STATE["json_file"] = open(json_path, "a") if json_path else None
+
+
+def _emit(record: dict) -> None:
+    stream = _STATE["stream"] or sys.stderr
+    fields = " ".join(
+        f"{k}={_short(v)}"
+        for k, v in record.items()
+        if k not in ("ts", "level", "logger", "event")
+    )
+    line = f"[{record['logger']}] {record['level']}: {record['event']}"
+    stream.write(f"{line} {fields}\n" if fields else f"{line}\n")
+    json_file = _STATE["json_file"]
+    if json_file is not None:
+        json_file.write(json.dumps(record) + "\n")
+        json_file.flush()
+
+
+def _short(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+class Logger:
+    """A named emitter of leveled, structured events."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def log(self, level: str, event: str, **fields) -> None:
+        """Emit ``event`` with ``fields`` if ``level`` passes the threshold."""
+        if _LEVELS[level] < _STATE["level"]:
+            return
+        record = {"ts": time.time(), "level": level, "logger": self.name, "event": event}
+        record.update(fields)
+        _emit(record)
+
+    def debug(self, event: str, **fields) -> None:
+        """Emit at debug severity."""
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields) -> None:
+        """Emit at info severity."""
+        self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields) -> None:
+        """Emit at warning severity."""
+        self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields) -> None:
+        """Emit at error severity."""
+        self.log("error", event, **fields)
+
+
+def get_logger(name: str) -> Logger:
+    """The (cached) logger called ``name``."""
+    logger = _LOGGERS.get(name)
+    if logger is None:
+        logger = _LOGGERS[name] = Logger(name)
+    return logger

@@ -1,0 +1,204 @@
+"""Process-local metrics registry: counters, gauges and histograms.
+
+The registry is the numeric backbone of :mod:`repro.obs`: subsystems
+increment named instruments as they work (trainer steps, HNSW queries,
+exact-metric timings) and callers read one consistent :meth:`snapshot`
+at the end of a run.  Instruments are created on first use, so library
+code never has to check whether observability is "configured" — an
+unobserved counter costs one dict lookup and one float add.
+
+Design constraints (see DESIGN.md §9):
+
+- process-local and single-threaded, like everything else in the repro;
+- instruments are plain objects callers may hold onto — :meth:`reset`
+  clears their state in place rather than replacing them, so cached
+  references stay valid;
+- :meth:`snapshot` returns plain dicts of floats, directly serialisable
+  into the JSONL run records of :mod:`repro.obs.run`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+]
+
+
+class Counter:
+    """A monotonically increasing count (events, items, calls)."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        """Current accumulated count."""
+        return self._value
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (got {amount})")
+        self._value += float(amount)
+
+    def reset(self) -> None:
+        """Zero the counter in place."""
+        self._value = 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        """Serialisable snapshot of this instrument."""
+        return {"type": "counter", "value": self._value}
+
+
+class Gauge:
+    """A value that can go up and down (last-write-wins)."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value: Optional[float] = None
+
+    @property
+    def value(self) -> Optional[float]:
+        """Last value set, or None if never set (or reset since)."""
+        return self._value
+
+    def set(self, value: Union[int, float]) -> None:
+        """Record the current level of the measured quantity."""
+        self._value = float(value)
+
+    def reset(self) -> None:
+        """Forget the recorded value."""
+        self._value = None
+
+    def to_dict(self) -> Dict[str, Optional[float]]:
+        """Serialisable snapshot of this instrument."""
+        return {"type": "gauge", "value": self._value}
+
+
+class Histogram:
+    """A distribution of observed values (timings, norms, sizes).
+
+    Observations are kept in full — reproduction-scale runs emit at most
+    a few thousand per instrument — so quantiles are exact.
+    """
+
+    __slots__ = ("name", "_values")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._values: List[float] = []
+
+    @property
+    def count(self) -> int:
+        """Number of observations recorded."""
+        return len(self._values)
+
+    @property
+    def total(self) -> float:
+        """Sum of all observations."""
+        return float(sum(self._values))
+
+    def observe(self, value: Union[int, float]) -> None:
+        """Record one observation."""
+        self._values.append(float(value))
+
+    def percentile(self, q: float) -> float:
+        """Exact ``q``-th percentile (0..100) of the observations."""
+        if not self._values:
+            raise ValueError(f"histogram {self.name!r} has no observations")
+        return float(np.percentile(self._values, q))
+
+    def reset(self) -> None:
+        """Drop all observations."""
+        self._values.clear()
+
+    def to_dict(self) -> Dict[str, Union[str, float, int]]:
+        """Serialisable summary: count/total/min/mean/max and p50/p90/p99."""
+        if not self._values:
+            return {"type": "histogram", "count": 0}
+        arr = np.asarray(self._values)
+        return {
+            "type": "histogram",
+            "count": int(arr.size),
+            "total": float(arr.sum()),
+            "min": float(arr.min()),
+            "mean": float(arr.mean()),
+            "max": float(arr.max()),
+            "p50": float(np.percentile(arr, 50)),
+            "p90": float(np.percentile(arr, 90)),
+            "p99": float(np.percentile(arr, 99)),
+        }
+
+
+_Instrument = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: the first call
+    under a name fixes its kind, and asking for the same name as a
+    different kind raises ``TypeError`` (silent kind drift would corrupt
+    every dashboard reading the snapshot).
+    """
+
+    def __init__(self):
+        self._instruments: Dict[str, _Instrument] = {}
+
+    def _get(self, name: str, kind):
+        existing = self._instruments.get(name)
+        if existing is None:
+            existing = self._instruments[name] = kind(name)
+        elif not isinstance(existing, kind):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(existing).__name__}, not {kind.__name__}"
+            )
+        return existing
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter called ``name``."""
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge called ``name``."""
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        """Get or create the histogram called ``name``."""
+        return self._get(name, Histogram)
+
+    def names(self) -> List[str]:
+        """All registered instrument names, sorted."""
+        return sorted(self._instruments)
+
+    def snapshot(self) -> Dict[str, dict]:
+        """One serialisable dict per instrument, keyed by name."""
+        return {name: self._instruments[name].to_dict() for name in self.names()}
+
+    def reset(self) -> None:
+        """Clear every instrument's state in place (references stay valid)."""
+        for instrument in self._instruments.values():
+            instrument.reset()
+
+
+#: The process-wide default registry used by the instrumented subsystems.
+_DEFAULT = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default :class:`MetricsRegistry`."""
+    return _DEFAULT

@@ -1,0 +1,143 @@
+"""Hierarchical wall-time spans: where does a slow epoch spend its time?
+
+A :class:`SpanRecorder` accumulates wall time under slash-joined paths
+that mirror the dynamic nesting of ``with recorder.span(name)`` blocks:
+the trainer produces ``epoch``, ``epoch/sampling``, ``epoch/batch``,
+``epoch/batch/forward`` and so on.  A parent span's total always covers
+its children plus the glue between them, which is exactly the breakdown
+needed to decide what a perf PR should attack.
+
+Overhead is one ``perf_counter`` pair and a dict update per span, so
+batch-level spans are safe to leave on permanently; only per-op timing
+needs the separate opt-in profiler (:mod:`repro.obs.profile`).
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from typing import Callable, Dict, List
+
+__all__ = [
+    "SpanRecorder",
+    "default_recorder",
+    "diff_totals",
+    "format_spans",
+    "span",
+]
+
+
+class _Span:
+    """Context manager for one timed section (created by ``SpanRecorder.span``)."""
+
+    __slots__ = ("_recorder", "_name", "_path", "_start")
+
+    def __init__(self, recorder: "SpanRecorder", name: str):
+        self._recorder = recorder
+        self._name = name
+
+    def __enter__(self) -> "_Span":
+        stack = self._recorder._stack
+        stack.append(self._name)
+        self._path = "/".join(stack)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        elapsed = time.perf_counter() - self._start
+        totals = self._recorder._totals
+        prev = totals.get(self._path)
+        if prev is None:
+            totals[self._path] = [elapsed, 1]
+        else:
+            prev[0] += elapsed
+            prev[1] += 1
+        self._recorder._stack.pop()
+
+
+class SpanRecorder:
+    """Accumulates nested span timings keyed by slash-joined path."""
+
+    def __init__(self):
+        self._stack: List[str] = []
+        self._totals: Dict[str, list] = {}  # path -> [seconds, count]
+
+    def span(self, name: str) -> _Span:
+        """A context manager timing one section nested under the current one."""
+        if "/" in name:
+            raise ValueError(f"span name may not contain '/': {name!r}")
+        return _Span(self, name)
+
+    def timed(self, name: str) -> Callable:
+        """Decorator running the wrapped function inside ``span(name)``."""
+
+        def deco(fn: Callable) -> Callable:
+            @functools.wraps(fn)
+            def wrapper(*args, **kwargs):
+                with self.span(name):
+                    return fn(*args, **kwargs)
+
+            return wrapper
+
+        return deco
+
+    def totals(self) -> Dict[str, Dict[str, float]]:
+        """``{path: {"seconds": s, "count": n}}`` for every span seen so far."""
+        return {
+            path: {"seconds": seconds, "count": count}
+            for path, (seconds, count) in sorted(self._totals.items())
+        }
+
+    def reset(self) -> None:
+        """Drop all accumulated spans (open spans keep timing correctly)."""
+        self._totals.clear()
+
+
+def diff_totals(
+    after: Dict[str, Dict[str, float]], before: Dict[str, Dict[str, float]]
+) -> Dict[str, Dict[str, float]]:
+    """Per-interval span breakdown: ``after`` minus ``before`` snapshots.
+
+    Used by the trainer to turn cumulative run totals into per-epoch
+    records.  Paths absent from ``before`` pass through unchanged; paths
+    with no activity in the interval are omitted.
+    """
+    out: Dict[str, Dict[str, float]] = {}
+    for path, stat in after.items():
+        prev = before.get(path, {"seconds": 0.0, "count": 0})
+        seconds = stat["seconds"] - prev["seconds"]
+        count = stat["count"] - prev["count"]
+        if count > 0 or seconds > 1e-12:
+            out[path] = {"seconds": seconds, "count": count}
+    return out
+
+
+def format_spans(totals: Dict[str, Dict[str, float]]) -> str:
+    """Render span totals as an indented tree with seconds and counts."""
+    if not totals:
+        return "(no spans recorded)"
+    lines = []
+    for path in sorted(totals):
+        stat = totals[path]
+        depth = path.count("/")
+        name = path.rsplit("/", 1)[-1]
+        lines.append(
+            f"{'  ' * depth}{name:<{24 - 2 * depth}s} "
+            f"{stat['seconds']:10.4f}s  x{int(stat['count'])}"
+        )
+    return "\n".join(lines)
+
+
+#: Default recorder used by module-level :func:`span` (experiment harness,
+#: efficiency timers).  The trainer uses its own per-fit instance.
+_DEFAULT = SpanRecorder()
+
+
+def default_recorder() -> SpanRecorder:
+    """The process-wide default :class:`SpanRecorder`."""
+    return _DEFAULT
+
+
+def span(name: str) -> _Span:
+    """Open a span on the default recorder."""
+    return _DEFAULT.span(name)

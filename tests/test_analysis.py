@@ -41,7 +41,7 @@ class TestRepoIsClean:
         assert report.files_checked > 50
 
     def test_rule_catalogue_complete(self):
-        assert set(RULES) >= {"R001", "R002", "R003", "R004", "R005", "R006", "S001"}
+        assert set(RULES) >= {"R001", "R002", "R003", "R004", "R005", "R006", "R007", "S001"}
         for rule in rule_catalogue():
             assert rule.title and rule.rationale
             assert rule.scope in ("file", "project")
@@ -277,6 +277,45 @@ class TestApiRules:
         assert [(v.rule, v.line) for v in report.violations] == [("R006", 6)]
         assert "undocumented" in report.violations[0].message
 
+    def test_flags_bare_print_in_library_code(self, tmp_path):
+        _write(
+            tmp_path,
+            "trainer.py",
+            """\
+            def fit():
+                print("epoch done")
+                return 1
+            """,
+        )
+        report = run_analysis([tmp_path], root=tmp_path, rules=["R007"])
+        assert [(v.rule, v.line) for v in report.violations] == [("R007", 2)]
+        assert "print" in report.violations[0].message
+
+    def test_front_ends_may_print(self, tmp_path):
+        body = """\
+            def main():
+                print("result table")
+            """
+        _write(tmp_path, "cli.py", body)
+        _write(tmp_path, "__main__.py", body)
+        _write(tmp_path, "analysis/report.py", body)
+        assert run_analysis([tmp_path], root=tmp_path, rules=["R007"]).ok
+
+    def test_obs_logger_calls_are_fine(self, tmp_path):
+        _write(
+            tmp_path,
+            "mod.py",
+            """\
+            from repro.obs import get_logger
+
+            _log = get_logger(__name__)
+
+            def fit():
+                _log.info("epoch", loss=0.5)
+            """,
+        )
+        assert run_analysis([tmp_path], root=tmp_path, rules=["R007"]).ok
+
 
 class TestShapeChecker:
     def test_real_model_is_clean(self):
@@ -349,7 +388,7 @@ class TestEntryPoints:
     def test_list_rules(self, capsys):
         assert analysis_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("R001", "R002", "R003", "R004", "R005", "R006", "S001"):
+        for rule_id in ("R001", "R002", "R003", "R004", "R005", "R006", "R007", "S001"):
             assert rule_id in out
 
     def test_missing_path_is_an_error(self, tmp_path, capsys):

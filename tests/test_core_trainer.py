@@ -38,6 +38,22 @@ class TestFit:
         assert history.metric == "hausdorff"
         assert all(s > 0 for s in history.epoch_seconds)
         assert history.final_loss == history.epoch_losses[-1]
+        assert len(history.grad_norms) == len(history.epoch_losses)
+        assert all(g >= 0 for g in history.grad_norms)
+
+    def test_spans_and_epoch_callback(self, tiny_train):
+        trajs, distances = tiny_train
+        cfg = small_config(epochs=2)
+        trainer = Trainer(TMN(cfg), cfg, metric="hausdorff")
+        seen = []
+        trainer.fit(trajs, distances=distances, on_epoch=seen.append)
+        assert [r["epoch"] for r in seen] == [1, 2]
+        for record in seen:
+            assert record["grad_norm"] >= 0
+            assert "epoch/batch/forward" in record["spans"]
+        totals = trainer.spans.totals()
+        assert totals["epoch"]["count"] == 2
+        assert totals["epoch"]["seconds"] >= totals["epoch/batch"]["seconds"]
 
     def test_final_loss_without_epochs_raises(self):
         from repro.core import TrainingHistory

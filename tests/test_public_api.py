@@ -14,6 +14,7 @@ PACKAGES = [
     "repro",
     "repro.analysis",
     "repro.autograd",
+    "repro.obs",
     "repro.nn",
     "repro.optim",
     "repro.metrics",
