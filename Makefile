@@ -1,6 +1,6 @@
 # Convenience targets for the TMN reproduction.
 
-.PHONY: install test lint bench bench-fast bench-json profile examples clean
+.PHONY: install test lint lint-json bench bench-fast bench-json profile examples clean
 
 install:
 	pip install -e .
@@ -10,6 +10,13 @@ test:
 
 lint:
 	PYTHONPATH=src python -m repro.analysis src
+
+# Machine-readable lint report (violations + suppressed count) for CI artifacts.
+lint-json:
+	PYTHONPATH=src python -m repro.analysis src --format json > lint_report.json || true
+	@python -c "import json; r = json.load(open('lint_report.json')); \
+	print('lint_report.json:', len(r['violations']), 'violation(s),', \
+	r['suppressed_count'], 'suppressed')"
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -14,13 +14,27 @@ R004      float64 engine discipline — no float32/float16 drift
 R005      ``__all__`` must match each module's actual public surface
 R006      docstrings on public functions, classes and methods
 R007      no bare ``print`` in library code (use ``repro.obs.log``)
-S001      symbolic layer-dimension wiring check (no model execution)
+S001      symbolic layer-dimension wiring check, cross-module (no
+          model execution; subclass overrides and helpers resolved)
+D001      reachable tape ops need a backward closure and a gradcheck
+D002      no mid-graph ``.data`` rewrap detaching gradients
+N001      ``exp`` on unbounded input needs clip or max-subtraction
+N002      ``log``/``sqrt`` need an epsilon guard
+N003      division by a computed sum/norm needs an epsilon
+N004      no float equality on tensor data
 ========  ==============================================================
 
+The D-rules and S001 run on the cross-module dataflow index built by
+:mod:`repro.analysis.dataflow` (symbol tables, class hierarchy, call
+graph, reachability from the model forward methods).
+
 Run it as ``python -m repro.analysis src/``, via ``repro-tmn lint`` or
-``make lint``; the tier-1 test ``tests/test_analysis.py`` keeps the tree
-at zero violations.  Intentional exceptions are marked inline with
-``# lint: allow(R00X)`` or recorded in a JSON baseline file.
+``make lint``; the tier-1 tests ``tests/test_analysis.py`` and
+``tests/test_analysis_dataflow.py`` keep the tree at zero violations.
+Intentional exceptions are marked inline with ``# lint: allow(R00X)`` or
+recorded in a JSON baseline file (``--baseline`` / ``--write-baseline``
+/ ``--update-baseline``); reports are available as text, ``--format
+json`` or ``--format sarif``.
 """
 
 from .baseline import Baseline, Suppression, load_baseline, write_baseline
@@ -74,7 +88,11 @@ def main(argv=None) -> int:
     parser.add_argument("--baseline", default=None, help="JSON suppression file")
     parser.add_argument("--write-baseline", default=None, metavar="PATH",
                         help="snapshot current findings to a baseline file and exit 0")
-    parser.add_argument("--json", action="store_true", help="emit a JSON report")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="re-snapshot current findings into the --baseline file")
+    parser.add_argument("--format", choices=("text", "json", "sarif"), default="text",
+                        dest="fmt", help="report format (default: text)")
+    parser.add_argument("--json", action="store_true", help="shorthand for --format json")
     parser.add_argument("--rules", default=None,
                         help="comma-separated subset of rule ids to run")
     parser.add_argument("--list-rules", action="store_true", help="print the rule catalogue")
@@ -86,19 +104,31 @@ def main(argv=None) -> int:
         return 0
 
     selected = [r.strip() for r in args.rules.split(",")] if args.rules else None
+    if args.update_baseline and not args.baseline:
+        print("error: --update-baseline requires --baseline PATH", file=sys.stderr)
+        return 2
     try:
         report = run_analysis(
             [Path(p) for p in args.paths],
             tests_dir=args.tests,
-            baseline=args.baseline,
+            # --update-baseline runs unfiltered so the snapshot captures
+            # every current finding, not just the unsuppressed ones.
+            baseline=None if args.update_baseline else args.baseline,
             rules=selected,
         )
     except (FileNotFoundError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    if args.write_baseline:
-        _write(args.write_baseline, report.violations)
-        print(f"wrote {len(report.violations)} suppression(s) to {args.write_baseline}")
+    if args.write_baseline or args.update_baseline:
+        target = args.write_baseline or args.baseline
+        _write(target, report.violations)
+        print(f"wrote {len(report.violations)} suppression(s) to {target}")
         return 0
-    print(report.to_json() if args.json else report.format_text())
+    fmt = "json" if args.json else args.fmt
+    if fmt == "json":
+        print(report.to_json())
+    elif fmt == "sarif":
+        print(report.to_sarif())
+    else:
+        print(report.format_text())
     return 0 if report.ok else 1

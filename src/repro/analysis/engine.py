@@ -27,7 +27,7 @@ __all__ = ["FileContext", "ProjectContext", "AnalysisReport", "run_analysis"]
 _ALLOW_RE = re.compile(r"#\s*lint:\s*allow\(([A-Za-z0-9_,\s]+)\)")
 
 #: Directories never worth linting.
-_SKIP_DIRS = {"__pycache__", ".git", "build", "dist"}
+_SKIP_DIRS = {"__pycache__", ".git", "build", "dist", ".venv", "venv", "runs"}
 
 
 @dataclass
@@ -81,6 +81,8 @@ class AnalysisReport:
 
     violations: List[Violation]
     files_checked: int
+    #: findings removed by inline ``# lint: allow`` comments or the baseline
+    suppressed_count: int = 0
 
     @property
     def ok(self) -> bool:
@@ -94,6 +96,8 @@ class AnalysisReport:
             if self.violations
             else f"clean: {self.files_checked} file(s), 0 violations"
         )
+        if self.suppressed_count:
+            summary += f" ({self.suppressed_count} suppressed)"
         body = format_text(self.violations)
         return f"{body}\n{summary}" if body else summary
 
@@ -102,10 +106,64 @@ class AnalysisReport:
         return json.dumps(
             {
                 "files_checked": self.files_checked,
+                "suppressed_count": self.suppressed_count,
                 "violations": [v.to_dict() for v in self.violations],
             },
             indent=2,
         )
+
+    def to_sarif(self) -> str:
+        """SARIF 2.1.0 report, for CI annotation tooling and finding diffs."""
+        from .registry import RULES
+
+        rule_ids = sorted({v.rule for v in self.violations} | set(RULES))
+        rules_meta = []
+        for rid in rule_ids:
+            rule = RULES.get(rid)
+            entry = {"id": rid}
+            if rule is not None:
+                entry["shortDescription"] = {"text": rule.title}
+                entry["fullDescription"] = {"text": rule.rationale}
+            rules_meta.append(entry)
+        results = [
+            {
+                "ruleId": v.rule,
+                "level": "error",
+                "message": {"text": v.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": v.path},
+                            "region": {
+                                "startLine": v.line,
+                                "startColumn": v.col + 1,
+                            },
+                        }
+                    }
+                ],
+            }
+            for v in self.violations
+        ]
+        doc = {
+            "$schema": (
+                "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json"
+            ),
+            "version": "2.1.0",
+            "runs": [
+                {
+                    "tool": {
+                        "driver": {
+                            "name": "repro-tmn-lint",
+                            "informationUri": "https://example.invalid/repro-tmn",
+                            "rules": rules_meta,
+                        }
+                    },
+                    "results": results,
+                }
+            ],
+        }
+        return json.dumps(doc, indent=2)
 
 
 def _iter_python_files(target: Path) -> Iterable[Path]:
@@ -196,11 +254,21 @@ def run_analysis(
     project = ProjectContext(root=root, files=files, tests_dir=tests_dir)
 
     selected = [RULES[r] for r in sorted(RULES) if rules is None or r in rules]
+    flow = None
+    if any(rule.scope == "dataflow" for rule in selected):
+        # Deferred import: dataflow imports FileContext/ProjectContext from
+        # this module, so a top-level import would be circular.
+        from .dataflow import ProjectDataflow
+
+        flow = ProjectDataflow.build(project)
+
     raw: List[Violation] = list(parse_errors)
     for rule in selected:
         if rule.scope == "file":
             for ctx in files:
                 raw.extend(rule.check(ctx))
+        elif rule.scope == "dataflow":
+            raw.extend(rule.check(project, flow))
         else:
             raw.extend(rule.check(project))
 
@@ -212,8 +280,9 @@ def run_analysis(
             continue
         kept.append(violation)
 
-    kept = load_baseline(baseline).filter(kept)
+    filtered = load_baseline(baseline).filter(kept)
     return AnalysisReport(
-        violations=sort_violations(kept),
+        violations=sort_violations(filtered),
         files_checked=len(files) + len(parse_errors),
+        suppressed_count=len(raw) - len(filtered),
     )

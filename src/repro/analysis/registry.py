@@ -4,13 +4,17 @@ Rules self-register via the :func:`register` decorator, which keeps the
 catalogue (id, title, rationale) next to the implementation.  The engine
 iterates :data:`RULES` so adding a rule is a one-file change.
 
-Two scopes exist:
+Three scopes exist:
 
 - ``"file"`` rules receive one :class:`~repro.analysis.engine.FileContext`
   at a time and see a single module's AST;
 - ``"project"`` rules receive the whole
   :class:`~repro.analysis.engine.ProjectContext` and can cross-reference
-  files (e.g. R003 matches ops against the test suite).
+  files (e.g. R003 matches ops against the test suite);
+- ``"dataflow"`` rules additionally receive the
+  :class:`~repro.analysis.dataflow.ProjectDataflow` index (symbol table,
+  call graph, reachability) built once per run — the D-rules and the
+  interprocedural shape checker live here.
 """
 
 from __future__ import annotations
@@ -28,11 +32,11 @@ class Rule:
     rule_id: str
     title: str
     rationale: str
-    scope: str  # "file" or "project"
+    scope: str  # "file", "project" or "dataflow"
     check: Callable[..., Iterable] = field(compare=False)
 
     def __post_init__(self) -> None:
-        if self.scope not in ("file", "project"):
+        if self.scope not in ("file", "project", "dataflow"):
             raise ValueError(f"unknown rule scope {self.scope!r}")
 
 

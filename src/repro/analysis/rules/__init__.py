@@ -9,9 +9,33 @@ Importing this package registers every rule with
 - R004 (:mod:`.dtype`) — float64 engine discipline, no narrow-float drift;
 - R005/R006 (:mod:`.api`) — ``__all__`` accuracy and public docstrings;
 - R007 (:mod:`.prints`) — no bare ``print`` in library code;
-- S001 (:mod:`.wiring`) — symbolic layer-dimension checking.
+- S001 (:mod:`.wiring`) — symbolic layer-dimension checking;
+- D001/D002 (:mod:`.differentiability`) — backward/gradcheck coverage and
+  detach-free forward paths, audited over the cross-module call graph;
+- N001–N004 (:mod:`.stability`) — numerical-stability guards for
+  exp/log/sqrt/normalising divisions and float equality.
 """
 
-from . import api, coverage, dtype, mutation, prints, rng, wiring
+from . import (
+    api,
+    coverage,
+    differentiability,
+    dtype,
+    mutation,
+    prints,
+    rng,
+    stability,
+    wiring,
+)
 
-__all__ = ["api", "coverage", "dtype", "mutation", "prints", "rng", "wiring"]
+__all__ = [
+    "api",
+    "coverage",
+    "differentiability",
+    "dtype",
+    "mutation",
+    "prints",
+    "rng",
+    "stability",
+    "wiring",
+]

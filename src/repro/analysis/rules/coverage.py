@@ -29,6 +29,17 @@ _OP_MODULES = ("autograd/ops.py", "nn/fused.py")
 #: Names whose presence marks a test as a gradient check.
 _GRADCHECK_NAMES = {"check_gradients", "numeric_gradient"}
 
+#: Operators appearing inside a gradcheck-bearing test exercise the Tensor
+#: dunder that implements them, so D001 can credit `a - b` to `__sub__`.
+_OPERATOR_DUNDERS = {
+    ast.Add: "__add__",
+    ast.Sub: "__sub__",
+    ast.Mult: "__mul__",
+    ast.Div: "__truediv__",
+    ast.MatMult: "__matmul__",
+    ast.Pow: "__pow__",
+}
+
 
 def differentiable_ops(project: ProjectContext) -> List[Tuple[FileContext, str, int]]:
     """(file, op name, def line) for every public op in the catalogue modules."""
@@ -73,6 +84,14 @@ def covered_ops(tests_dir: Path) -> Set[str]:
                     referenced.add(node.id)
                 elif isinstance(node, ast.Attribute):
                     referenced.add(node.attr)
+                elif isinstance(node, ast.BinOp):
+                    dunder = _OPERATOR_DUNDERS.get(type(node.op))
+                    if dunder is not None:
+                        referenced.add(dunder)
+                elif isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+                    referenced.add("__neg__")
+                elif isinstance(node, ast.Subscript):
+                    referenced.add("__getitem__")
             if referenced & _GRADCHECK_NAMES:
                 covered |= referenced
     return covered

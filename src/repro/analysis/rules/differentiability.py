@@ -1,0 +1,187 @@
+"""D001/D002 — differentiability audit over the reachable forward graph.
+
+Both rules run on the :class:`~repro.analysis.dataflow.ProjectDataflow`
+index: starting from every model forward method (``TMN.forward_pair``, the
+baseline ``encode_side``s, ...) they walk the call graph and audit only
+what training can actually execute.
+
+- **D001**: every tape op (a function whose body calls ``Tensor._make``)
+  reachable from a forward root must define a hand-derived backward
+  closure *and* be referenced by a gradcheck-bearing test.  A reachable op
+  without a backward silently produces zero gradients; one without a
+  gradcheck is an unverified derivative on the training path.
+- **D002**: no mid-graph detach on a reachable path.  Wrapping ``x.data``
+  (or ``x.numpy()``) back into ``Tensor(...)`` / ``np.asarray(...)`` /
+  ``np.array(...)`` severs the tape: the forward value is right, the
+  gradient is silently zero upstream of the splice.  Code under ``with
+  no_grad():`` is exempt (detaching is the point there), as are the
+  autograd engine internals, which manipulate ``.data`` by definition.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+from ..dataflow import ProjectDataflow
+from ..engine import ProjectContext
+from ..registry import register
+from ..violations import Violation
+from .coverage import covered_ops
+
+__all__ = ["check_backward_coverage", "check_graph_detach"]
+
+#: Modules allowed to touch ``.data`` freely: the autograd engine itself
+#: and the fused kernels, whose closures are the gradient implementation.
+_ENGINE_MODULES = ("autograd/tensor.py", "autograd/ops.py", "nn/fused.py")
+
+
+def _is_engine_module(rel: str) -> bool:
+    return any(rel.endswith(suffix) for suffix in _ENGINE_MODULES)
+
+
+@register(
+    "D001",
+    title="reachable autograd ops need a backward closure and a gradcheck",
+    rationale=(
+        "an op on the model forward path without a hand-derived backward "
+        "yields silent zero gradients; without a finite-difference check "
+        "its derivative is unverified"
+    ),
+    scope="dataflow",
+)
+def check_backward_coverage(
+    project: ProjectContext, flow: ProjectDataflow
+) -> Iterator[Violation]:
+    """Audit every tape op the forward graph can reach."""
+    reachable = flow.reachable_forward_graph()
+    covered: Optional[Set[str]] = None
+    if project.tests_dir is not None and project.tests_dir.is_dir():
+        covered = covered_ops(project.tests_dir)
+    for fi, has_backward in flow.tape_ops():
+        if fi.node_id not in reachable:
+            continue
+        op_name = fi.qualname.split(".")[-1]
+        if not has_backward:
+            yield Violation(
+                path=fi.module_rel,
+                line=fi.node.lineno,
+                col=fi.node.col_offset,
+                rule="D001",
+                message=(
+                    f"tape op `{fi.qualname}` is reachable from a model "
+                    "forward method but defines no backward closure"
+                ),
+            )
+        if covered is not None and op_name not in covered:
+            yield Violation(
+                path=fi.module_rel,
+                line=fi.node.lineno,
+                col=fi.node.col_offset,
+                rule="D001",
+                message=(
+                    f"tape op `{fi.qualname}` is reachable from a model "
+                    "forward method but no gradcheck-bearing test "
+                    "references it"
+                ),
+            )
+
+
+def _first_positional(call: ast.Call) -> Optional[ast.AST]:
+    """The argument whose value would become the new array/tensor payload.
+
+    Keyword arguments such as ``dtype=self.data.dtype`` legitimately touch
+    ``.data`` without splicing it into the graph, so only the first
+    positional argument subtree is inspected.
+    """
+    return call.args[0] if call.args else None
+
+
+def _detaches(expr: ast.AST) -> bool:
+    """Whether the payload expression reads raw array data off a tensor."""
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Attribute) and node.attr == "data":
+            return True
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "numpy"
+        ):
+            return True
+    return False
+
+
+def _rewrap_target(call: ast.Call) -> Optional[str]:
+    """Name of the wrapping constructor when the call re-enters the graph."""
+    func = call.func
+    if isinstance(func, ast.Name) and func.id == "Tensor":
+        return "Tensor"
+    if (
+        isinstance(func, ast.Attribute)
+        and func.attr in ("asarray", "array")
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "np"
+    ):
+        return f"np.{func.attr}"
+    return None
+
+
+def _no_grad_lines(tree: ast.AST) -> Set[int]:
+    """Line numbers inside ``with no_grad():`` blocks (detaching intended)."""
+    lines: Set[int] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.With):
+            continue
+        for item in node.items:
+            expr = item.context_expr
+            name = None
+            if isinstance(expr, ast.Call):
+                if isinstance(expr.func, ast.Name):
+                    name = expr.func.id
+                elif isinstance(expr.func, ast.Attribute):
+                    name = expr.func.attr
+            if name == "no_grad":
+                end = getattr(node, "end_lineno", node.lineno)
+                lines.update(range(node.lineno, end + 1))
+    return lines
+
+
+@register(
+    "D002",
+    title="no mid-graph .data/.numpy() detach on a reachable forward path",
+    rationale=(
+        "wrapping raw `.data` back into Tensor/np.asarray severs the tape: "
+        "forward values stay correct while upstream gradients silently "
+        "become zero"
+    ),
+    scope="dataflow",
+)
+def check_graph_detach(
+    project: ProjectContext, flow: ProjectDataflow
+) -> Iterator[Violation]:
+    """Flag Tensor/asarray rewraps of ``.data`` in reachable functions."""
+    reachable = flow.reachable_forward_graph()
+    for node_id in sorted(reachable):
+        fi = flow.functions.get(node_id)
+        if fi is None or _is_engine_module(fi.module_rel):
+            continue
+        exempt_lines = _no_grad_lines(fi.node)
+        for node in ast.walk(fi.node):
+            if not isinstance(node, ast.Call):
+                continue
+            wrapper = _rewrap_target(node)
+            if wrapper is None or node.lineno in exempt_lines:
+                continue
+            payload = _first_positional(node)
+            if payload is not None and _detaches(payload):
+                yield Violation(
+                    path=fi.module_rel,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule="D002",
+                    message=(
+                        f"`{wrapper}(...)` in `{fi.qualname}` rewraps raw "
+                        "tensor data on a reachable forward path, "
+                        "detaching the gradient"
+                    ),
+                )

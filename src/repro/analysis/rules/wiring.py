@@ -1,22 +1,50 @@
-"""S001 — symbolic layer-dimension wiring check.
+"""S001 — symbolic layer-dimension wiring check (cross-module).
 
-Thin registry adapter around :mod:`repro.analysis.shapes`: runs the
-abstract interpreter over every class in a file that constructs recognised
-layers (``Linear``/``LSTM``/``GRU``/``MLP``/``SelfAttention``...) and
-reports producer/consumer dimension mismatches in the forward paths.
+Adapter around :mod:`repro.analysis.shapes`: runs the abstract interpreter
+over every class in the project that constructs recognised layers
+(``Linear``/``LSTM``/``GRU``/``MLP``/``SelfAttention``...) and reports
+producer/consumer dimension mismatches in the forward paths.
+
+With the :class:`~repro.analysis.dataflow.ProjectDataflow` index the
+checker is interprocedural: a subclass is interpreted together with its
+base classes (so ``SiameseTrajectoryModel.__init__`` sizes the LSTM with
+each baseline's overridden ``lstm_input_dim``), and free helper functions
+(``gather_last``, ``match_pattern``...) are resolved across modules so
+the symbolic last-axis dimension survives the call.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterator
+from typing import Iterator, List, Optional, Tuple
 
-from ..engine import FileContext
+from ..dataflow import ClassInfo, ProjectDataflow
+from ..engine import ProjectContext
 from ..registry import register
 from ..shapes import check_module_wiring
 from ..violations import Violation
 
 __all__ = ["check_wiring"]
+
+
+def _make_resolver(flow: ProjectDataflow, mro: List[ClassInfo]):
+    """Resolve a free helper name from any module of the class's MRO."""
+
+    def resolve(name: str) -> Optional[Tuple[ast.FunctionDef, str]]:
+        for klass in mro:
+            module = flow.modules.get(klass.module_rel)
+            if module is None:
+                continue
+            ref = flow.resolve(module, name)
+            if ref is None or ref.kind != "function":
+                continue
+            fmod = flow.modules.get(ref.module_rel)
+            fnode = fmod.functions.get(ref.name) if fmod is not None else None
+            if fnode is not None:
+                return fnode, ref.module_rel
+        return None
+
+    return resolve
 
 
 @register(
@@ -27,9 +55,17 @@ __all__ = ["check_wiring"]
         "test config makes wrong numbers coincide; symbolic checking "
         "catches them for every config"
     ),
+    scope="dataflow",
 )
-def check_wiring(ctx: FileContext) -> Iterator[Violation]:
-    """Run the symbolic shape checker over every class in the file."""
-    for node in ctx.tree.body:
-        if isinstance(node, ast.ClassDef):
-            yield from check_module_wiring(node, ctx.rel)
+def check_wiring(project: ProjectContext, flow: ProjectDataflow) -> Iterator[Violation]:
+    """Run the symbolic shape checker over every class hierarchy."""
+    for info in flow.modules.values():
+        for cinfo in info.classes.values():
+            mro = flow.mro(cinfo)
+            bases = [(k.node, k.module_rel) for k in mro[1:]]
+            yield from check_module_wiring(
+                cinfo.node,
+                cinfo.module_rel,
+                bases=bases,
+                resolver=_make_resolver(flow, mro),
+            )

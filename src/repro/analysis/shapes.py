@@ -210,25 +210,46 @@ class _Scenario:
 
 
 class _Interpreter:
-    """Walks one class under one scenario, collecting wiring violations."""
+    """Walks one class hierarchy under one scenario, collecting violations.
+
+    ``chain`` is the class's approximate MRO, subclass first, each entry a
+    ``(classdef, path)`` pair; methods are looked up subclass-first, so an
+    overriding ``lstm_input_dim`` in a baseline is seen by the base-class
+    ``__init__`` it parameterises.  ``resolver`` (optional) maps a free
+    helper-function name to its ``(FunctionDef, path)`` so dimensions
+    survive interprocedural calls into other modules.
+    """
 
     _MAX_DEPTH = 4
 
-    def __init__(self, classdef: ast.ClassDef, scenario: _Scenario, path: str):
-        self.classdef = classdef
+    def __init__(
+        self,
+        chain: Sequence[Tuple[ast.ClassDef, str]],
+        scenario: _Scenario,
+        resolver=None,
+    ):
+        self.chain = list(chain)
+        self.classdef = self.chain[0][0]
         self.scenario = scenario
-        self.path = path
+        self.resolver = resolver
         self.attrs: Dict[str, Union[LayerSpec, Value]] = {}
         self.violations: List[Violation] = []
-        self._methods = {
-            node.name: node
-            for node in classdef.body
-            if isinstance(node, ast.FunctionDef)
-        }
+        # Subclass-first merge: the first definition of a name wins.
+        self._methods: Dict[str, Tuple[ast.FunctionDef, str]] = {}
+        for classdef, path in self.chain:
+            for node in classdef.body:
+                if isinstance(node, ast.FunctionDef) and node.name not in self._methods:
+                    self._methods[node.name] = (node, path)
         self._return_cache: Dict[str, Value] = {}
         self._analyzing: List[str] = []
+        # Violations cite the file defining the method being interpreted.
+        self._path_stack: List[str] = [self.chain[0][1]]
         # Local flag aliases: names assigned from self.config.<flag>.
         self._flag_aliases: Dict[str, str] = {}
+
+    @property
+    def path(self) -> str:
+        return self._path_stack[-1]
 
     # -- truth of boolean config tests ---------------------------------
     def _truth(self, test: ast.AST) -> Optional[bool]:
@@ -280,16 +301,62 @@ class _Interpreter:
             if truth is None:
                 return None
             return self.eval_dim(node.body if truth else node.orelse, env)
+        if isinstance(node, ast.Call):
+            # self.<method>() used as a size expression, e.g. the base
+            # __init__ sizing the LSTM with the overridable lstm_input_dim().
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "self"
+                and func.attr in self._methods
+            ):
+                value = self.run_method(func.attr)
+                return value if isinstance(value, SymDim) else None
         return None
 
     # -- __init__ interpretation ----------------------------------------
     def run_init(self) -> None:
-        """Interpret ``__init__`` to learn layer specs and symbolic attrs."""
-        init = self._methods.get("__init__")
-        if init is None:
+        """Interpret the ``__init__`` chain to learn layer specs and attrs."""
+        self._run_init_from(0)
+
+    def _run_init_from(self, start: int) -> None:
+        """Run the first ``__init__`` at or after ``start`` in the MRO.
+
+        ``super().__init__(...)`` inside it continues the chain from the
+        next index, so base-class layer construction (which may call
+        subclass-overridden sizing methods) lands in the shared ``attrs``.
+        """
+        for idx in range(start, len(self.chain)):
+            classdef, path = self.chain[idx]
+            init = next(
+                (
+                    n
+                    for n in classdef.body
+                    if isinstance(n, ast.FunctionDef) and n.name == "__init__"
+                ),
+                None,
+            )
+            if init is None:
+                continue
+            env: Dict[str, Value] = {}
+            self._path_stack.append(path)
+            try:
+                self._exec_block(init.body, env, in_init=True, init_index=idx)
+            finally:
+                self._path_stack.pop()
             return
-        env: Dict[str, Value] = {}
-        self._exec_block(init.body, env, in_init=True)
+
+    @staticmethod
+    def _is_super_init(node: ast.AST) -> bool:
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "__init__"
+            and isinstance(node.func.value, ast.Call)
+            and isinstance(node.func.value.func, ast.Name)
+            and node.func.value.func.id == "super"
+        )
 
     def _layer_from_call(self, node: ast.Call, env: Dict[str, Value]) -> Optional[LayerSpec]:
         name = _call_name(node.func)
@@ -300,7 +367,13 @@ class _Interpreter:
         args: List[Value] = [self.eval_dim(a, env) for a in node.args]
         return _constructor_spec(name, args, node.lineno)
 
-    def _exec_block(self, body: Sequence[ast.stmt], env: Dict[str, Value], in_init: bool) -> None:
+    def _exec_block(
+        self,
+        body: Sequence[ast.stmt],
+        env: Dict[str, Value],
+        in_init: bool,
+        init_index: Optional[int] = None,
+    ) -> None:
         for stmt in body:
             if isinstance(stmt, ast.Assign):
                 self._exec_assign(stmt, env, in_init)
@@ -314,25 +387,32 @@ class _Interpreter:
             elif isinstance(stmt, ast.If):
                 truth = self._truth(stmt.test)
                 if truth is True:
-                    self._exec_block(stmt.body, env, in_init)
+                    self._exec_block(stmt.body, env, in_init, init_index)
                 elif truth is False:
-                    self._exec_block(stmt.orelse, env, in_init)
+                    self._exec_block(stmt.orelse, env, in_init, init_index)
                 else:
                     # Unknown branch: run both on copies, keep agreements.
                     env_a = dict(env)
                     env_b = dict(env)
-                    self._exec_block(stmt.body, env_a, in_init)
-                    self._exec_block(stmt.orelse, env_b, in_init)
+                    self._exec_block(stmt.body, env_a, in_init, init_index)
+                    self._exec_block(stmt.orelse, env_b, in_init, init_index)
                     for key in set(env_a) | set(env_b):
                         val_a, val_b = env_a.get(key), env_b.get(key)
                         env[key] = val_a if val_a == val_b else None
             elif isinstance(stmt, (ast.Expr, ast.Return)):
                 if isinstance(stmt, ast.Expr):
-                    self._value_of(stmt.value, env)
+                    if (
+                        in_init
+                        and init_index is not None
+                        and self._is_super_init(stmt.value)
+                    ):
+                        self._run_init_from(init_index + 1)
+                    else:
+                        self._value_of(stmt.value, env)
             # for/while/with/try bodies are walked conservatively
             elif isinstance(stmt, (ast.For, ast.While, ast.With, ast.Try)):
                 inner = list(getattr(stmt, "body", []))
-                self._exec_block(inner, env, in_init)
+                self._exec_block(inner, env, in_init, init_index)
 
     def _assign_value(self, stmt: ast.Assign, env: Dict[str, Value], in_init: bool) -> Value:
         node = stmt.value
@@ -388,16 +468,21 @@ class _Interpreter:
         """Interpret one method, recording violations; returns its value."""
         if name in self._return_cache:
             return self._return_cache[name]
-        method = self._methods.get(name)
-        if method is None or name in self._analyzing or len(self._analyzing) >= self._MAX_DEPTH:
+        entry = self._methods.get(name)
+        if entry is None or name in self._analyzing or len(self._analyzing) >= self._MAX_DEPTH:
             return None
+        method, path = entry
         self._analyzing.append(name)
+        self._path_stack.append(path)
         env: Dict[str, Value] = {
             arg.arg: None for arg in method.args.args if arg.arg != "self"
         }
         returns: List[Value] = []
-        self._exec_method_block(method.body, env, returns)
-        self._analyzing.pop()
+        try:
+            self._exec_method_block(method.body, env, returns)
+        finally:
+            self._path_stack.pop()
+            self._analyzing.pop()
         result: Value = None
         if returns:
             first = returns[0]
@@ -450,6 +535,10 @@ class _Interpreter:
             return self._subscript_value(node, env)
         if isinstance(node, ast.Call):
             return self._call_value(node, env)
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.MatMult):
+            # x @ w: the result's last axis is w's last axis.
+            right = self._value_of(node.right, env)
+            return right if isinstance(right, SymDim) else None
         if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub, ast.Mult, ast.Div)):
             left = self._value_of(node.left, env)
             right = self._value_of(node.right, env)
@@ -523,6 +612,44 @@ class _Interpreter:
                     first = self._value_of(args[0].elts[0], env)
                     return first if isinstance(first, SymDim) else None
             return None
+        # Free helper function resolved across modules (e.g. gather_last,
+        # match_pattern): bind the call args and interpret its returns.
+        if self.resolver is not None and isinstance(func, ast.Name):
+            resolved = self.resolver(func.id)
+            if resolved is not None:
+                return self._helper_value(resolved[0], resolved[1], node, env)
+        return None
+
+    def _helper_value(
+        self,
+        fnode: ast.FunctionDef,
+        path: str,
+        call: ast.Call,
+        env: Dict[str, Value],
+    ) -> Value:
+        """Value of a resolved free-function call, by interpreting its body."""
+        key = f"helper:{fnode.name}"
+        if key in self._analyzing or len(self._analyzing) >= self._MAX_DEPTH:
+            return None
+        params = [a.arg for a in fnode.args.args]
+        inner_env: Dict[str, Value] = {p: None for p in params}
+        for param, arg in zip(params, call.args):
+            inner_env[param] = self._value_of(arg, env)
+        for kw in call.keywords:
+            if kw.arg in inner_env:
+                inner_env[kw.arg] = self._value_of(kw.value, env)
+        self._analyzing.append(key)
+        self._path_stack.append(path)
+        returns: List[Value] = []
+        try:
+            self._exec_method_block(fnode.body, inner_env, returns)
+        finally:
+            self._path_stack.pop()
+            self._analyzing.pop()
+        if returns:
+            first = returns[0]
+            if all(r == first for r in returns):
+                return first
         return None
 
     def _axis_of(self, node: ast.Call) -> Optional[int]:
@@ -621,9 +748,23 @@ def _wiring_flags(classdef: ast.ClassDef) -> List[str]:
     return sorted(flags)
 
 
-def check_module_wiring(classdef: ast.ClassDef, path: str) -> List[Violation]:
-    """Check one class's layer wiring across every flag scenario."""
-    flags = _wiring_flags(classdef)[:_MAX_FLAGS]
+def check_module_wiring(
+    classdef: ast.ClassDef,
+    path: str,
+    bases: Sequence[Tuple[ast.ClassDef, str]] = (),
+    resolver=None,
+) -> List[Violation]:
+    """Check one class's layer wiring across every flag scenario.
+
+    ``bases`` supplies the rest of the MRO (each a ``(classdef, path)``
+    pair, nearest base first) so inherited ``__init__``/forward methods are
+    interpreted with subclass overrides in effect; ``resolver`` resolves
+    free helper-function names across modules (see
+    :class:`repro.analysis.dataflow.ProjectDataflow`).  Both default to
+    empty for single-file use.
+    """
+    chain = [(classdef, path)] + list(bases)
+    flags = sorted({f for c, _ in chain for f in _wiring_flags(c)})[:_MAX_FLAGS]
     scenarios = (
         [_Scenario(dict(zip(flags, combo))) for combo in itertools.product((True, False), repeat=len(flags))]
         if flags
@@ -631,7 +772,7 @@ def check_module_wiring(classdef: ast.ClassDef, path: str) -> List[Violation]:
     )
     violations: List[Violation] = []
     for scenario in scenarios:
-        interp = _Interpreter(classdef, scenario, path)
+        interp = _Interpreter(chain, scenario, resolver=resolver)
         interp.run_init()
         if not any(isinstance(v, LayerSpec) for v in interp.attrs.values()):
             continue

@@ -35,7 +35,8 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable softmax along ``axis``."""
     shifted = x.data - x.data.max(axis=axis, keepdims=True)
     exps = np.exp(shifted)
-    out_data = exps / exps.sum(axis=axis, keepdims=True)
+    # Denominator >= 1: after max-subtraction exps contains exp(0) = 1.
+    out_data = exps / exps.sum(axis=axis, keepdims=True)  # lint: allow(N003)
 
     def backward(grad: np.ndarray, a=x) -> None:
         # d softmax = s * (grad - sum(grad * s))

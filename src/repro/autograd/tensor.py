@@ -401,7 +401,9 @@ class Tensor:
     # ------------------------------------------------------------------
     def exp(self) -> "Tensor":
         """Elementwise exponential."""
-        out_data = np.exp(self.data)
+        # lint: allow(N001) — raw engine op; bounding the argument is the
+        # caller's contract (ops.softmax subtracts the row max first).
+        out_data = np.exp(self.data)  # lint: allow(N001)
 
         def backward(grad: np.ndarray, a=self) -> None:
             out._send(a, grad * out_data)
@@ -411,7 +413,9 @@ class Tensor:
 
     def log(self) -> "Tensor":
         """Elementwise natural logarithm."""
-        out_data = np.log(self.data)
+        # lint: allow(N002) — raw engine op; adding eps here would bias every
+        # caller, so guarding is the caller's contract (see core.similarity).
+        out_data = np.log(self.data)  # lint: allow(N002)
 
         def backward(grad: np.ndarray, a=self) -> None:
             out._send(a, grad / a.data)
@@ -421,7 +425,9 @@ class Tensor:
 
     def sqrt(self) -> "Tensor":
         """Elementwise square root."""
-        out_data = np.sqrt(self.data)
+        # lint: allow(N002) — raw engine op; callers add eps before the call
+        # (see ops.euclidean_distance), keeping the gradient finite at 0.
+        out_data = np.sqrt(self.data)  # lint: allow(N002)
 
         def backward(grad: np.ndarray, a=self) -> None:
             out._send(a, grad * 0.5 / out_data)
@@ -440,8 +446,9 @@ class Tensor:
         return out
 
     def sigmoid(self) -> "Tensor":
-        """Elementwise logistic sigmoid."""
-        out_data = 1.0 / (1.0 + np.exp(-self.data))
+        """Elementwise logistic sigmoid (overflow-free two-branch form)."""
+        z = np.exp(-np.abs(self.data))
+        out_data = np.where(self.data >= 0, 1.0 / (1.0 + z), z / (1.0 + z))
 
         def backward(grad: np.ndarray, a=self) -> None:
             out._send(a, grad * out_data * (1.0 - out_data))
@@ -517,7 +524,9 @@ class Tensor:
             if axis is not None and not keepdims:
                 g = np.expand_dims(g, axis=axis)
                 expanded = np.expand_dims(out_data, axis=axis)
-            mask = a.data == expanded
+            # Exact equality is how argmax ties are identified: `expanded`
+            # holds copies of values taken from `a.data` itself.
+            mask = a.data == expanded  # lint: allow(N004)
             # Split gradient equally among ties, as PyTorch does for amax.
             counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
             out._send(a, g * mask / counts)

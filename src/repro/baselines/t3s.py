@@ -63,7 +63,8 @@ class T3S(SiameseTrajectoryModel):
 def _sinusoidal_table(max_len: int, dim: int) -> np.ndarray:
     """Standard Transformer sinusoidal positional encodings."""
     position = np.arange(max_len)[:, None]
-    div = np.exp(np.arange(0, dim, 2) * (-np.log(10000.0) / dim))
+    # Exponent is <= 0 for any positive dim; this builds a constant table.
+    div = np.exp(np.arange(0, dim, 2) * (-np.log(10000.0) / dim))  # lint: allow(N001)
     table = np.zeros((max_len, dim))
     table[:, 0::2] = np.sin(position * div)
     table[:, 1::2] = np.cos(position * div[: (dim + 1) // 2][: table[:, 1::2].shape[1]])

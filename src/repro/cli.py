@@ -8,7 +8,9 @@ Subcommands::
     repro-tmn evaluate   --checkpoint ckpt --kind porto --metric dtw
     repro-tmn experiment table2 --dataset porto --metric dtw [--fast]
     repro-tmn report     runs/run.jsonl
-    repro-tmn lint       [paths ...] [--json] [--rules R001,R002]
+    repro-tmn lint       [paths ...] [--format text|json|sarif] \
+                         [--rules R001,N001] [--baseline lint_baseline.json \
+                         [--update-baseline]]
 
 ``experiment`` regenerates one paper table/figure block and prints the
 paper-style text table; ``--fast`` switches from BENCH to SMOKE scale.
@@ -109,8 +111,13 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("paths", nargs="*", default=["src"])
     lint.add_argument("--tests", default=None, help="tests directory for R003")
     lint.add_argument("--baseline", default=None, help="JSON suppression file")
-    lint.add_argument("--json", action="store_true", help="machine-readable output")
+    lint.add_argument("--format", choices=("text", "json", "sarif"), default="text",
+                      dest="fmt", help="report format (default: text)")
+    lint.add_argument("--json", action="store_true",
+                      help="shorthand for --format json")
     lint.add_argument("--rules", default=None, help="comma-separated rule subset")
+    lint.add_argument("--update-baseline", action="store_true",
+                      help="re-snapshot current findings into the --baseline file")
     return parser
 
 
@@ -239,18 +246,36 @@ def _cmd_report(args) -> int:
 
 
 def _cmd_lint(args) -> int:
-    from .analysis import load_baseline, run_analysis
+    from .analysis import run_analysis, write_baseline
 
-    baseline = load_baseline(args.baseline) if args.baseline else None
     rules = [r.strip() for r in args.rules.split(",")] if args.rules else None
+    update = getattr(args, "update_baseline", False)
+    if update and not args.baseline:
+        print("error: --update-baseline requires --baseline PATH", file=sys.stderr)
+        return 2
     try:
         report = run_analysis(
-            args.paths, tests_dir=args.tests, baseline=baseline, rules=rules
+            args.paths,
+            tests_dir=args.tests,
+            # When refreshing the baseline, run unfiltered so the snapshot
+            # captures every current finding, not just the unsuppressed ones.
+            baseline=None if update else args.baseline,
+            rules=rules,
         )
     except (FileNotFoundError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    print(report.to_json() if args.json else report.format_text())
+    if update:
+        write_baseline(args.baseline, report.violations)
+        print(f"wrote {len(report.violations)} suppression(s) to {args.baseline}")
+        return 0
+    fmt = "json" if args.json else args.fmt
+    if fmt == "json":
+        print(report.to_json())
+    elif fmt == "sarif":
+        print(report.to_sarif())
+    else:
+        print(report.format_text())
     return 0 if report.ok else 1
 
 

@@ -18,9 +18,11 @@ def distance_to_similarity(distance, alpha: float):
     """``S = exp(-alpha * D)`` on arrays or Tensors."""
     if alpha <= 0:
         raise ValueError("alpha must be positive")
+    # The exponent -alpha * D is <= 0: alpha > 0 is validated above and
+    # metric distances are nonnegative, so exp cannot overflow.
     if isinstance(distance, Tensor):
-        return (distance * (-alpha)).exp()
-    return np.exp(-alpha * np.asarray(distance))
+        return (distance * (-alpha)).exp()  # lint: allow(N001)
+    return np.exp(-alpha * np.asarray(distance))  # lint: allow(N001)
 
 
 def similarity_to_distance(similarity, alpha: float):
@@ -30,7 +32,8 @@ def similarity_to_distance(similarity, alpha: float):
     sim = np.asarray(similarity, dtype=float)
     if np.any(sim <= 0) or np.any(sim > 1):
         raise ValueError("similarities must lie in (0, 1]")
-    return -np.log(sim) / alpha
+    # sim is validated to lie in (0, 1] immediately above, so log is finite.
+    return -np.log(sim) / alpha  # lint: allow(N002)
 
 
 def predicted_similarity(emb_a, emb_b, eps: float = 1e-12):

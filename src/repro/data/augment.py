@@ -33,7 +33,8 @@ def downsample(traj, keep_fraction: float, rng: np.random.Generator) -> np.ndarr
         raise ValueError("keep_fraction must be in (0, 1]")
     pts = _points_of(traj)
     n = len(pts)
-    if n <= 2 or keep_fraction == 1.0:
+    # Scalar config parameter; 1.0 is the exact "keep everything" sentinel.
+    if n <= 2 or keep_fraction == 1.0:  # lint: allow(N004)
         return pts.copy()
     keep = rng.random(n) < keep_fraction
     keep[0] = keep[-1] = True

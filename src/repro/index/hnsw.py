@@ -173,5 +173,7 @@ class HNSWIndex:
         registry.counter("index.hnsw.queries").inc()
         registry.counter("index.hnsw.candidates_scanned").inc(visited)
         ids = np.array([i for _, i in found], dtype=int)
-        dists = np.sqrt(np.array([d for d, _ in found]))
+        # Candidate distances are squared L2 values, nonnegative by
+        # construction; no eps needed on this no-gradient search path.
+        dists = np.sqrt(np.array([d for d, _ in found]))  # lint: allow(N002)
         return dists, ids

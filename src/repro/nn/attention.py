@@ -109,7 +109,8 @@ class SelfAttention(Module):
         q = x @ self.w_q
         k = x @ self.w_k
         v = x @ self.w_v
-        scores = (q @ k.swapaxes(-1, -2)) * (1.0 / np.sqrt(self.dim))
+        # dim is a positive integer hyperparameter, never zero.
+        scores = (q @ k.swapaxes(-1, -2)) * (1.0 / np.sqrt(self.dim))  # lint: allow(N002)
         if mask is not None:
             mask = np.asarray(mask, dtype=bool)
             key_mask = np.broadcast_to(np.expand_dims(mask, -2), scores.shape)

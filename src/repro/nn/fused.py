@@ -20,7 +20,9 @@ __all__ = ["fused_lstm_step"]
 
 
 def _sigmoid(x: np.ndarray) -> np.ndarray:
-    return 1.0 / (1.0 + np.exp(-x))
+    # Overflow-free two-branch form: the exponent is always <= 0.
+    z = np.exp(-np.abs(x))
+    return np.where(x >= 0, 1.0 / (1.0 + z), z / (1.0 + z))
 
 
 @profiled_op

@@ -71,4 +71,5 @@ class Adam:
             m_hat = self._m[i] / bias1
             v_hat = self._v[i] / bias2
             # Sanctioned in-place update: no tape is alive between steps.
-            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)  # lint: allow(R002)
+            # v_hat is an EMA of squared gradients, nonnegative by invariant.
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)  # lint: allow(R002, N002)

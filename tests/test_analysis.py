@@ -44,7 +44,7 @@ class TestRepoIsClean:
         assert set(RULES) >= {"R001", "R002", "R003", "R004", "R005", "R006", "R007", "S001"}
         for rule in rule_catalogue():
             assert rule.title and rule.rationale
-            assert rule.scope in ("file", "project")
+            assert rule.scope in ("file", "project", "dataflow")
 
 
 class TestRNGRule:

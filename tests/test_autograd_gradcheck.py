@@ -41,3 +41,16 @@ def test_check_gradients_detects_wrong_gradient():
 def test_check_gradients_handles_unused_input():
     # Second input does not influence the output: gradient must be zero.
     assert check_gradients(lambda x, y: x.sum() + 0.0 * y.sum(), [np.ones(2), np.ones(3)])
+
+
+def test_subtraction_gradient():
+    a = np.array([0.5, -1.5, 2.0])
+    b = np.array([1.0, 0.25, -0.75])
+    assert check_gradients(lambda x, y: x - y, [a, b])
+
+
+def test_division_gradient():
+    # Denominator kept away from zero so finite differences stay accurate.
+    a = np.array([0.5, -1.5, 2.0])
+    b = np.array([1.0, 2.5, -1.75])
+    assert check_gradients(lambda x, y: x / y, [a, b])
