@@ -1,6 +1,7 @@
 # Convenience targets for the TMN reproduction.
 
-.PHONY: install test lint lint-json bench bench-fast bench-json profile examples clean
+.PHONY: install test lint lint-json bench bench-fast bench-json bench-serve \
+	regen-golden profile examples clean
 
 install:
 	pip install -e .
@@ -29,6 +30,17 @@ bench-fast:
 bench-json:
 	REPRO_BENCH_JSON=BENCH_results.json pytest benchmarks/ --benchmark-only
 
+# Serving-layer throughput/latency bench (micro-batching vs naive encode);
+# writes the BENCH_serve.json trajectory via the shared bench_record path.
+bench-serve:
+	REPRO_BENCH_JSON=BENCH_serve.json PYTHONPATH=src \
+		python -m pytest benchmarks/test_serve_throughput.py --benchmark-only
+
+# Re-snapshot the golden trainer regression file after an INTENTIONAL
+# numeric change (review the diff before committing it).
+regen-golden:
+	PYTHONPATH=src python tests/test_golden_regression.py
+
 # Smoke-train with the autograd op profiler on: prints the per-op table and
 # leaves a JSONL run record under runs/.
 profile:
@@ -43,6 +55,7 @@ examples:
 	python examples/clustering.py
 	python examples/exact_search_pruning.py
 	python examples/robustness.py
+	python examples/serving.py
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache

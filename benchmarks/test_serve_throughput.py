@@ -1,0 +1,95 @@
+"""Serving-layer throughput bench — the acceptance gate for `repro.serve`.
+
+Drives a 4-worker pool of cache-miss ``topk`` queries through the
+:class:`~repro.serve.engine.SimilarityServer` and compares against naive
+one-request-one-forward encoding of the same query stream.  Asserted
+properties (the serving contract, not just a timing):
+
+- zero dropped requests: every submitted query gets an answer;
+- zero degraded answers when no deadline is set;
+- >= 2x the naive throughput (best of two attempts — wall-clock on a
+  shared 1-CPU CI box is noisy, the batching effect is not).
+
+Numbers land in the bench JSON via ``bench_record`` (``make bench-serve``
+writes ``BENCH_serve.json``), seeding the serving perf trajectory that
+future optimisation PRs are judged against.
+"""
+
+import pytest
+
+from repro.serve import run_serve_bench
+
+#: Acceptance scale: 4 workers, 500 cache-miss queries over 60 indexed
+#: trajectories, encode batches capped at 32.  Long trajectories + a small
+#: hidden dim put the workload in the forward-dominated regime (the paper's
+#: Table III setting) where the batching effect is measurable above the
+#: fixed per-request overhead.
+WORKERS = 4
+N_QUERIES = 500
+N_DB = 60
+BATCH_SIZE = 32
+TRAJ_LEN = 80
+HIDDEN_DIM = 8
+MIN_SPEEDUP = 2.0
+
+
+def _run_best_of(attempts: int):
+    """Best-of-N serve-bench run (de-noises shared-box wall clock)."""
+    best = None
+    for attempt in range(attempts):
+        result = run_serve_bench(
+            n_db=N_DB,
+            n_queries=N_QUERIES,
+            workers=WORKERS,
+            batch_size=BATCH_SIZE,
+            hidden_dim=HIDDEN_DIM,
+            traj_len=TRAJ_LEN,
+            seed=0,
+        )
+        # Correctness properties must hold on EVERY attempt.
+        assert result.dropped == 0, f"dropped {result.dropped} requests"
+        assert result.completed == N_QUERIES
+        assert result.degraded == 0, "no deadline set, nothing should degrade"
+        if best is None or result.speedup > best.speedup:
+            best = result
+        if best.speedup >= MIN_SPEEDUP:
+            break
+    return best
+
+
+def test_serve_throughput(benchmark, bench_record):
+    result = benchmark.pedantic(_run_best_of, args=(2,), rounds=1, iterations=1)
+    print(
+        f"\nserve-bench: {result.served_qps:.0f} qps served vs "
+        f"{result.naive_qps:.0f} naive ({result.speedup:.2f}x), "
+        f"mean batch {result.batch_size_mean:.1f}"
+    )
+    bench_record(**result.to_dict())
+    # Micro-batching must beat one-request-one-forward by 2x.
+    assert result.speedup >= MIN_SPEEDUP, (
+        f"speedup {result.speedup:.2f}x < {MIN_SPEEDUP}x "
+        f"(served {result.served_qps:.0f} qps, naive {result.naive_qps:.0f} qps)"
+    )
+    # Batching actually happened (workers coalesced, not 1-by-1).
+    assert result.batch_size_mean > 1.5
+
+
+def test_serve_deadline_degrades_not_drops(benchmark, bench_record):
+    """An impossible deadline degrades answers; nothing drops or raises."""
+    result = benchmark.pedantic(
+        run_serve_bench,
+        kwargs=dict(
+            n_db=30,
+            n_queries=60,
+            workers=WORKERS,
+            batch_size=BATCH_SIZE,
+            deadline_s=1e-5,
+            seed=1,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.dropped == 0
+    assert result.completed == 60
+    assert result.degraded == 60  # every query missed the 10us deadline
+    bench_record(degraded=result.degraded, completed=result.completed)

@@ -8,12 +8,16 @@ Subcommands::
     repro-tmn evaluate   --checkpoint ckpt --kind porto --metric dtw
     repro-tmn experiment table2 --dataset porto --metric dtw [--fast]
     repro-tmn report     runs/run.jsonl
+    repro-tmn serve-bench --queries 500 --workers 4 [--json]
     repro-tmn lint       [paths ...] [--format text|json|sarif] \
                          [--rules R001,N001] [--baseline lint_baseline.json \
                          [--update-baseline]]
 
 ``experiment`` regenerates one paper table/figure block and prints the
 paper-style text table; ``--fast`` switches from BENCH to SMOKE scale.
+``serve-bench`` drives the concurrent serving layer (micro-batching
+encode queue + embedding cache + HNSW top-k) under a worker pool and
+reports throughput against naive one-request-one-forward encoding.
 ``train --log-json`` persists a JSONL run record (config, seed, per-epoch
 loss/grad-norm/timing) and ``--profile`` times every autograd op;
 ``report`` pretty-prints a run record.  ``lint`` runs the project's
@@ -106,6 +110,36 @@ def build_parser() -> argparse.ArgumentParser:
 
     report = sub.add_parser("report", help="pretty-print a JSONL run record")
     report.add_argument("path", help="run record written by train --log-json")
+
+    serve = sub.add_parser(
+        "serve-bench", help="benchmark the concurrent similarity-serving layer"
+    )
+    serve.add_argument("--kind", choices=("geolife", "porto"), default="porto")
+    serve.add_argument("--n-db", type=int, default=60, help="indexed trajectories")
+    serve.add_argument("--queries", type=int, default=500, help="cache-miss queries")
+    serve.add_argument("--workers", type=int, default=4, help="caller threads")
+    serve.add_argument("--batch-size", type=int, default=32, help="max encode batch")
+    serve.add_argument(
+        "--max-wait-ms", type=float, default=4.0, help="batch flush deadline"
+    )
+    serve.add_argument("--hidden-dim", type=int, default=32, help="encoder width")
+    serve.add_argument(
+        "--traj-len",
+        type=int,
+        default=None,
+        help="points per trajectory (default: the corpus default length)",
+    )
+    serve.add_argument("--k", type=int, default=5, help="neighbours per query")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="per-request deadline (missed => degraded exact answer)",
+    )
+    serve.add_argument(
+        "--json", action="store_true", help="print the result dict as JSON"
+    )
 
     lint = sub.add_parser("lint", help="run the project static-analysis pass")
     lint.add_argument("paths", nargs="*", default=["src"])
@@ -233,6 +267,32 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_serve_bench(args) -> int:
+    import json
+
+    from .serve import format_serve_bench, run_serve_bench
+
+    deadline = args.deadline_ms / 1000.0 if args.deadline_ms is not None else None
+    result = run_serve_bench(
+        n_db=args.n_db,
+        n_queries=args.queries,
+        workers=args.workers,
+        batch_size=args.batch_size,
+        max_wait_ms=args.max_wait_ms,
+        hidden_dim=args.hidden_dim,
+        kind=args.kind,
+        k=args.k,
+        seed=args.seed,
+        deadline_s=deadline,
+        traj_len=args.traj_len,
+    )
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(format_serve_bench(result))
+    return 0 if result.dropped == 0 else 1
+
+
 def _cmd_report(args) -> int:
     from .obs import format_run, read_run
 
@@ -288,6 +348,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "evaluate": _cmd_evaluate,
         "experiment": _cmd_experiment,
         "report": _cmd_report,
+        "serve-bench": _cmd_serve_bench,
         "lint": _cmd_lint,
     }
     try:

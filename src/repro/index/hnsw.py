@@ -7,12 +7,21 @@ free implementation of that index: multi-layer proximity graphs searched
 greedily from the top layer down, with beam (``ef``) search on the bottom
 layer.  Approximate by design; the test suite measures recall against the
 brute-force oracle.
+
+Thread-safety contract (relied on by :mod:`repro.serve`): every public
+method — :meth:`HNSWIndex.add`, :meth:`HNSWIndex.query`,
+:meth:`HNSWIndex.query_batch` and ``len()`` — takes an internal lock, so
+any number of reader threads may query while one writer inserts.  A query
+observes the index either before or after a concurrent insert, never a
+half-linked graph, and never returns an id ``>= len(index)`` as seen at
+the moment the query completed.
 """
 
 from __future__ import annotations
 
 import heapq
 import math
+import threading
 from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
@@ -55,9 +64,13 @@ class HNSWIndex:
         self._neighbors: List[Dict[int, List[int]]] = []
         self._entry: Optional[int] = None
         self._max_level = -1
+        # Guards graph mutation and search; reentrant so query_batch can
+        # delegate to the single-query path while already holding it.
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
-        return len(self.vectors)
+        with self._lock:
+            return len(self.vectors)
 
     # ------------------------------------------------------------------
     def _distance(self, a: np.ndarray, b: np.ndarray) -> float:
@@ -96,10 +109,14 @@ class HNSWIndex:
 
     # ------------------------------------------------------------------
     def add(self, vector: np.ndarray) -> int:
-        """Insert one vector; returns its id."""
+        """Insert one vector; returns its id.  Safe under concurrent queries."""
         vector = np.asarray(vector, dtype=np.float64)
         if vector.shape != (self.dim,):
             raise ValueError(f"expected vector of dim {self.dim}, got {vector.shape}")
+        with self._lock:
+            return self._add_locked(vector)
+
+    def _add_locked(self, vector: np.ndarray) -> int:
         node = len(self.vectors)
         self.vectors.append(vector)
         get_registry().counter("index.hnsw.inserts").inc()
@@ -150,13 +167,38 @@ class HNSWIndex:
         """Approximate k nearest neighbours: ``(distances, ids)`` ascending.
 
         ``ef`` (beam width, >= k) trades recall for speed; defaults to
-        ``max(ef_construction, k)``.
+        ``max(ef_construction, k)``.  Safe under a concurrent :meth:`add`.
         """
-        if self._entry is None:
-            raise RuntimeError("index is empty")
         vector = np.asarray(vector, dtype=np.float64)
         if vector.shape != (self.dim,):
             raise ValueError(f"expected vector of dim {self.dim}, got {vector.shape}")
+        with self._lock:
+            return self._query_locked(vector, k, ef)
+
+    def query_batch(
+        self, vectors: np.ndarray, k: int = 1, ef: Optional[int] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Query many vectors under one lock acquisition.
+
+        Returns ``(distances, ids)`` of shape (Q, k) each, row ``q`` sorted
+        ascending.  The whole batch sees one consistent index snapshot —
+        useful for the serving layer, which answers coalesced requests
+        against the same database state.
+        """
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim != 2 or vectors.shape[1] != self.dim:
+            raise ValueError(f"expected (Q, {self.dim}) query stack, got {vectors.shape}")
+        with self._lock:
+            out = [self._query_locked(v, k, ef) for v in vectors]
+        dists = np.stack([d for d, _ in out]) if out else np.zeros((0, k))
+        ids = np.stack([i for _, i in out]) if out else np.zeros((0, k), dtype=int)
+        return dists, ids
+
+    def _query_locked(
+        self, vector: np.ndarray, k: int, ef: Optional[int]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        if self._entry is None:
+            raise RuntimeError("index is empty")
         if not 1 <= k <= len(self.vectors):
             raise ValueError(f"k must be in [1, {len(self.vectors)}]")
         ef = max(ef if ef is not None else self.ef_construction, k)

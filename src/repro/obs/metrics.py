@@ -9,7 +9,10 @@ unobserved counter costs one dict lookup and one float add.
 
 Design constraints (see DESIGN.md §9):
 
-- process-local and single-threaded, like everything else in the repro;
+- process-local; instrument updates are guarded by one shared lock so
+  the serving layer's worker threads can increment counters without
+  losing updates (an uncontended lock costs ~100ns — within the
+  always-on overhead budget);
 - instruments are plain objects callers may hold onto — :meth:`reset`
   clears their state in place rather than replacing them, so cached
   references stay valid;
@@ -19,6 +22,7 @@ Design constraints (see DESIGN.md §9):
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Optional, Union
 
 import numpy as np
@@ -30,6 +34,11 @@ __all__ = [
     "MetricsRegistry",
     "get_registry",
 ]
+
+#: One shared mutation lock for every instrument: updates are tiny, so a
+#: single lock beats per-instrument locks on memory and is never hot
+#: enough to contend at reproduction scale.
+_UPDATE_LOCK = threading.Lock()
 
 
 class Counter:
@@ -50,7 +59,8 @@ class Counter:
         """Add ``amount`` (must be non-negative) to the counter."""
         if amount < 0:
             raise ValueError(f"counter {self.name!r} cannot decrease (got {amount})")
-        self._value += float(amount)
+        with _UPDATE_LOCK:
+            self._value += float(amount)
 
     def reset(self) -> None:
         """Zero the counter in place."""
@@ -113,7 +123,8 @@ class Histogram:
 
     def observe(self, value: Union[int, float]) -> None:
         """Record one observation."""
-        self._values.append(float(value))
+        with _UPDATE_LOCK:
+            self._values.append(float(value))
 
     def percentile(self, q: float) -> float:
         """Exact ``q``-th percentile (0..100) of the observations."""
@@ -161,8 +172,9 @@ class MetricsRegistry:
     def _get(self, name: str, kind):
         existing = self._instruments.get(name)
         if existing is None:
-            existing = self._instruments[name] = kind(name)
-        elif not isinstance(existing, kind):
+            with _UPDATE_LOCK:
+                existing = self._instruments.setdefault(name, kind(name))
+        if not isinstance(existing, kind):
             raise TypeError(
                 f"metric {name!r} already registered as "
                 f"{type(existing).__name__}, not {kind.__name__}"

@@ -10,11 +10,17 @@ needed to decide what a perf PR should attack.
 Overhead is one ``perf_counter`` pair and a dict update per span, so
 batch-level spans are safe to leave on permanently; only per-op timing
 needs the separate opt-in profiler (:mod:`repro.obs.profile`).
+
+Thread-safety: the nesting stack is thread-local (each thread sees its
+own span hierarchy — what the serving layer's worker threads need) and
+total accumulation is lock-protected, so concurrent spans from many
+threads never garble each other's paths or lose updates.
 """
 
 from __future__ import annotations
 
 import functools
+import threading
 import time
 from typing import Callable, Dict, List
 
@@ -37,7 +43,7 @@ class _Span:
         self._name = name
 
     def __enter__(self) -> "_Span":
-        stack = self._recorder._stack
+        stack = self._recorder._thread_stack()
         stack.append(self._name)
         self._path = "/".join(stack)
         self._start = time.perf_counter()
@@ -45,22 +51,31 @@ class _Span:
 
     def __exit__(self, *exc) -> None:
         elapsed = time.perf_counter() - self._start
-        totals = self._recorder._totals
-        prev = totals.get(self._path)
-        if prev is None:
-            totals[self._path] = [elapsed, 1]
-        else:
-            prev[0] += elapsed
-            prev[1] += 1
-        self._recorder._stack.pop()
+        recorder = self._recorder
+        with recorder._totals_lock:
+            prev = recorder._totals.get(self._path)
+            if prev is None:
+                recorder._totals[self._path] = [elapsed, 1]
+            else:
+                prev[0] += elapsed
+                prev[1] += 1
+        recorder._thread_stack().pop()
 
 
 class SpanRecorder:
     """Accumulates nested span timings keyed by slash-joined path."""
 
     def __init__(self):
-        self._stack: List[str] = []
+        self._local = threading.local()
         self._totals: Dict[str, list] = {}  # path -> [seconds, count]
+        self._totals_lock = threading.Lock()
+
+    def _thread_stack(self) -> List[str]:
+        """The calling thread's private nesting stack."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     def span(self, name: str) -> _Span:
         """A context manager timing one section nested under the current one."""
@@ -83,14 +98,16 @@ class SpanRecorder:
 
     def totals(self) -> Dict[str, Dict[str, float]]:
         """``{path: {"seconds": s, "count": n}}`` for every span seen so far."""
-        return {
-            path: {"seconds": seconds, "count": count}
-            for path, (seconds, count) in sorted(self._totals.items())
-        }
+        with self._totals_lock:
+            return {
+                path: {"seconds": seconds, "count": count}
+                for path, (seconds, count) in sorted(self._totals.items())
+            }
 
     def reset(self) -> None:
         """Drop all accumulated spans (open spans keep timing correctly)."""
-        self._totals.clear()
+        with self._totals_lock:
+            self._totals.clear()
 
 
 def diff_totals(

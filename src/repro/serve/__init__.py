@@ -1,0 +1,35 @@
+"""repro.serve — concurrent similarity serving over learned embeddings.
+
+The paper's efficiency argument (Table III) is that similarity queries
+collapse to embedding distances once trajectories are encoded; this
+package is the subsystem that actually serves those queries:
+
+- :mod:`repro.serve.cache` — thread-safe LRU embedding cache keyed by
+  trajectory content hash, with hit/miss accounting;
+- :mod:`repro.serve.batcher` — micro-batching encode queue coalescing
+  concurrent requests into padded model batches (flush on size or
+  deadline), with a fault-isolation boundary per batch;
+- :mod:`repro.serve.engine` — :class:`SimilarityServer`: cache → queue →
+  HNSW/brute top-k with per-request deadlines; a missed deadline or a
+  poisoned batch yields a degraded-but-exact answer, never an exception;
+- :mod:`repro.serve.bench` — the ``repro-tmn serve-bench`` harness
+  measuring served vs naive one-forward-per-request throughput.
+
+See DESIGN.md §11 for the architecture and the failure-mode table.
+"""
+
+from .batcher import MicroBatcher
+from .bench import ServeBenchResult, format_serve_bench, run_serve_bench
+from .cache import EmbeddingCache, trajectory_key
+from .engine import ServeResult, SimilarityServer
+
+__all__ = [
+    "EmbeddingCache",
+    "MicroBatcher",
+    "ServeBenchResult",
+    "ServeResult",
+    "SimilarityServer",
+    "format_serve_bench",
+    "run_serve_bench",
+    "trajectory_key",
+]

@@ -1,0 +1,195 @@
+"""Micro-batching encode queue: coalesce concurrent requests into batches.
+
+The encoder is dramatically cheaper per trajectory when it runs on a
+padded batch (one Python-level timestep loop serves the whole batch)
+than when every request triggers its own forward.  This module turns
+that batch efficiency into *concurrent* serving throughput: worker
+threads submit single trajectories and receive futures, while one
+flusher thread drains the queue into padded model batches, flushing
+when either ``max_batch_size`` requests have accumulated or the oldest
+request has waited ``max_wait_ms`` — the classic size-or-deadline
+micro-batching policy.
+
+Fault isolation: the encoder runs only on the flusher thread, and an
+exception inside one batched forward is caught there and delivered to
+exactly that batch's futures.  The queue, the flusher thread and every
+other in-flight request stay serviceable; ``serve.batch.errors`` /
+``serve.batch.failed_requests`` count the blast radius.
+
+Instrumentation (always on, registry-level): ``serve.queue.depth``
+gauge sampled at each flush, ``serve.batch.size`` histogram,
+``serve.batch.seconds`` histogram, and request/flush counters.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..obs.metrics import get_registry
+
+__all__ = ["MicroBatcher"]
+
+
+class _Request:
+    """One enqueued encode request: the trajectory plus its result future."""
+
+    __slots__ = ("traj", "future", "enqueued_at")
+
+    def __init__(self, traj):
+        self.traj = traj
+        self.future: Future = Future()
+        self.enqueued_at = time.perf_counter()
+
+
+class MicroBatcher:
+    """Coalesces concurrent ``encode(traj)`` calls into padded model batches.
+
+    Parameters
+    ----------
+    encode_fn:
+        ``f(list_of_trajectories) -> (B, d) ndarray``.  Called only from
+        the internal flusher thread, so the underlying model needs no
+        thread-safety of its own.
+    max_batch_size:
+        Flush as soon as this many requests have accumulated.
+    max_wait_ms:
+        Flush when the oldest queued request has waited this long, even
+        if the batch is not full — bounds added latency under low load.
+    idle_grace_ms:
+        How long the collector keeps listening on an *empty* queue before
+        flushing a partial batch.  Requests from already-blocked callers
+        cannot arrive (closed-loop traffic), so once the queue stays
+        quiet for this long the batch is as full as it will get; waiting
+        out the whole ``max_wait_ms`` would only add dead time.
+    name:
+        Metric-name prefix (defaults to ``serve``), so several batchers
+        can coexist without mixing their counters.
+
+    Use as a context manager or call :meth:`close` to stop the flusher
+    thread; pending requests are failed with ``RuntimeError`` on close.
+    """
+
+    def __init__(
+        self,
+        encode_fn: Callable[[Sequence], np.ndarray],
+        max_batch_size: int = 32,
+        max_wait_ms: float = 2.0,
+        idle_grace_ms: float = 0.5,
+        name: str = "serve",
+    ):
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        if idle_grace_ms < 0:
+            raise ValueError("idle_grace_ms must be >= 0")
+        self._encode_fn = encode_fn
+        self.max_batch_size = max_batch_size
+        self.max_wait_s = max_wait_ms / 1000.0
+        self.idle_grace_s = idle_grace_ms / 1000.0
+        self._name = name
+        self._queue: "queue.Queue[Optional[_Request]]" = queue.Queue()
+        self._closed = False
+        self._thread = threading.Thread(
+            target=self._run, name=f"{name}-microbatcher", daemon=True
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    def submit(self, traj) -> Future:
+        """Enqueue one trajectory; the future resolves to its (d,) embedding."""
+        if self._closed:
+            raise RuntimeError("MicroBatcher is closed")
+        request = _Request(traj)
+        self._queue.put(request)
+        get_registry().counter(f"{self._name}.requests").inc()
+        return request.future
+
+    def close(self, timeout: Optional[float] = 5.0) -> None:
+        """Stop the flusher thread; fail any still-pending futures."""
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put(None)  # wake the flusher
+        self._thread.join(timeout=timeout)
+        # Drain anything that raced past the close flag.
+        while True:
+            try:
+                request = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if request is not None:
+                request.future.set_exception(RuntimeError("MicroBatcher closed"))
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _collect(self, first: _Request) -> List[_Request]:
+        """Gather one batch: flush on size, deadline, or idle queue.
+
+        Each wait listens at most ``idle_grace_s`` — when nothing new
+        arrives in that window the batch is flushed early rather than
+        stalling until the hard ``max_wait_s`` deadline (requests from
+        blocked callers cannot arrive while they wait on us).
+        """
+        batch = [first]
+        deadline = first.enqueued_at + self.max_wait_s
+        while len(batch) < self.max_batch_size:
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0:
+                break
+            try:
+                request = self._queue.get(timeout=min(remaining, self.idle_grace_s))
+            except queue.Empty:
+                break  # queue went idle: flush what we have
+            if request is None:  # close sentinel: flush what we have
+                self._queue.put(None)
+                break
+            batch.append(request)
+        return batch
+
+    def _flush(self, batch: List[_Request]) -> None:
+        """Run one batched forward; deliver results or fail only this batch."""
+        registry = get_registry()
+        registry.gauge(f"{self._name}.queue.depth").set(self._queue.qsize())
+        registry.histogram(f"{self._name}.batch.size").observe(len(batch))
+        start = time.perf_counter()
+        try:
+            embeddings = np.asarray(self._encode_fn([r.traj for r in batch]))
+            if embeddings.ndim != 2 or embeddings.shape[0] != len(batch):
+                raise ValueError(
+                    f"encode_fn returned shape {embeddings.shape} "
+                    f"for a batch of {len(batch)}"
+                )
+        except BaseException as exc:  # fault isolation boundary
+            registry.counter(f"{self._name}.batch.errors").inc()
+            registry.counter(f"{self._name}.batch.failed_requests").inc(len(batch))
+            for request in batch:
+                if not request.future.done():
+                    request.future.set_exception(exc)
+            return
+        registry.histogram(f"{self._name}.batch.seconds").observe(
+            time.perf_counter() - start
+        )
+        registry.counter(f"{self._name}.batches").inc()
+        for request, embedding in zip(batch, embeddings):
+            if not request.future.done():
+                request.future.set_result(embedding)
+
+    def _run(self) -> None:
+        """Flusher loop: block for the first request, coalesce, flush."""
+        while True:
+            request = self._queue.get()
+            if request is None:
+                return
+            self._flush(self._collect(request))

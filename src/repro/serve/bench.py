@@ -1,0 +1,249 @@
+"""Serving throughput/latency benchmark harness (``repro-tmn serve-bench``).
+
+Measures the deployment workload the related work frames as the point of
+trajectory embedding (top-k retrieval over a vector index): ``workers``
+threads issue cache-miss ``topk`` queries against a
+:class:`~repro.serve.engine.SimilarityServer`, and the same query set is
+replayed through naive one-request-one-forward encoding as the baseline.
+The headline number is the throughput ratio — how much the micro-batching
+queue buys over per-request forwards — plus latency percentiles, cache
+and degradation counters, and a zero-drop check.
+
+The harness is deterministic given ``seed`` (corpus, query order and
+model init all derive from it); wall-clock numbers of course vary by
+machine.  Results serialise to a plain dict so the benchmark suite can
+feed them into ``BENCH_serve.json`` via ``bench_record``.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core import TMN, TMNConfig
+from ..data import make_dataset, prepare
+from ..obs.metrics import get_registry
+from .engine import ServeResult, SimilarityServer
+
+__all__ = ["ServeBenchResult", "run_serve_bench", "format_serve_bench"]
+
+
+@dataclass
+class ServeBenchResult:
+    """Outcome of one serve-bench run (all times in seconds)."""
+
+    n_db: int
+    n_queries: int
+    workers: int
+    batch_size: int
+    served_seconds: float
+    naive_seconds: float
+    naive_queries: int
+    completed: int
+    dropped: int
+    degraded: int
+    cache_hits: int
+    latency_p50: float
+    latency_p99: float
+    batch_size_mean: float
+
+    @property
+    def served_qps(self) -> float:
+        """Queries per second through the serving layer."""
+        return self.n_queries / max(self.served_seconds, 1e-12)
+
+    @property
+    def naive_qps(self) -> float:
+        """Queries per second for one-request-one-forward encoding."""
+        return self.naive_queries / max(self.naive_seconds, 1e-12)
+
+    @property
+    def speedup(self) -> float:
+        """Serving throughput over the naive baseline."""
+        return self.served_qps / max(self.naive_qps, 1e-12)
+
+    def to_dict(self) -> Dict[str, float]:
+        """Flat JSON-ready summary (what the bench JSON records)."""
+        return {
+            "n_db": float(self.n_db),
+            "n_queries": float(self.n_queries),
+            "workers": float(self.workers),
+            "batch_size": float(self.batch_size),
+            "served_qps": self.served_qps,
+            "naive_qps": self.naive_qps,
+            "speedup": self.speedup,
+            "completed": float(self.completed),
+            "dropped": float(self.dropped),
+            "degraded": float(self.degraded),
+            "cache_hits": float(self.cache_hits),
+            "latency_p50": self.latency_p50,
+            "latency_p99": self.latency_p99,
+            "batch_size_mean": self.batch_size_mean,
+        }
+
+
+def _build_encoder(hidden_dim: int, seed: int) -> TMN:
+    """A siamese (non-matching) TMN encoder for the serving benchmark.
+
+    The bench measures the serving machinery, not model quality, so an
+    untrained-but-deterministic encoder is the right substrate: encode
+    cost is identical to a trained model's.
+    """
+    config = TMNConfig(hidden_dim=hidden_dim, matching=False, seed=seed)
+    model = TMN(config)
+    model.eval()
+    return model
+
+
+def run_serve_bench(
+    n_db: int = 60,
+    n_queries: int = 500,
+    workers: int = 4,
+    batch_size: int = 32,
+    max_wait_ms: float = 4.0,
+    hidden_dim: int = 32,
+    kind: str = "porto",
+    k: int = 5,
+    seed: int = 0,
+    naive_queries: Optional[int] = None,
+    deadline_s: Optional[float] = None,
+    traj_len: Optional[int] = None,
+) -> ServeBenchResult:
+    """Run the serving benchmark and return its measurements.
+
+    ``n_db`` trajectories are indexed; ``n_queries`` *distinct* (cache
+    miss) queries are then issued from ``workers`` threads.  The naive
+    baseline replays ``naive_queries`` of them (default: min(100,
+    n_queries), extrapolated) one forward at a time on one thread.
+
+    ``traj_len`` overrides the corpus trajectory length (points per
+    trajectory, ±20%).  Longer trajectories make each forward heavier,
+    which isolates the batching effect from fixed per-request overhead —
+    the regime the paper's Table III workload lives in.
+    """
+    rng = np.random.default_rng(seed)
+    length_kwargs = {}
+    if traj_len is not None:
+        length_kwargs = {
+            "min_len": max(traj_len - traj_len // 5, 2),
+            "max_len": traj_len + traj_len // 5,
+        }
+    dataset = make_dataset(kind, n_db + n_queries + 40, seed=seed, **length_kwargs)
+    dataset, _ = prepare(dataset)
+    points = [t.points for t in dataset]
+    if len(points) < n_db + n_queries:
+        # Preprocessing drops some trajectories; synthesise the shortfall
+        # by jittering existing ones (still distinct content hashes).
+        while len(points) < n_db + n_queries:
+            base = points[int(rng.integers(len(points)))]
+            points.append(base + rng.normal(scale=1e-4, size=base.shape))
+    db = points[:n_db]
+    queries = points[n_db : n_db + n_queries]
+
+    model = _build_encoder(hidden_dim, seed)
+    server = SimilarityServer(
+        model,
+        dim=model.output_dim,
+        max_batch_size=batch_size,
+        max_wait_ms=max_wait_ms,
+        cache_capacity=max(4 * n_db, 256),
+        seed=seed,
+    )
+    registry = get_registry()
+    batch_hist = registry.histogram("serve.batch.size")
+    batches_before = batch_hist.count
+    batch_total_before = batch_hist.total
+
+    # Server tuning, applied to BOTH phases for fairness: a longer GIL
+    # switch interval stops worker wake-ups from preempting the encoder
+    # mid-forward (numpy releases the GIL only around large ops).
+    switch_before = sys.getswitchinterval()
+    sys.setswitchinterval(0.02)
+    try:
+        server.add_batch(db)
+
+        results: List[Optional[ServeResult]] = [None] * n_queries
+        next_query = {"i": 0}
+        hand_out = threading.Lock()
+
+        def worker() -> None:
+            """Pull query indices and serve them until the pool is drained."""
+            while True:
+                with hand_out:
+                    i = next_query["i"]
+                    if i >= n_queries:
+                        return
+                    next_query["i"] = i + 1
+                results[i] = server.topk(queries[i], k=k, deadline_s=deadline_s)
+
+        threads = [threading.Thread(target=worker) for _ in range(workers)]
+        start = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        served_seconds = time.perf_counter() - start
+
+        completed = sum(1 for r in results if r is not None)
+        dropped = n_queries - completed
+        degraded = sum(1 for r in results if r is not None and r.degraded)
+        cache_hits = sum(1 for r in results if r is not None and r.cache_hit)
+        latencies = sorted(r.seconds for r in results if r is not None)
+
+        # Naive baseline: the same encoder, one forward per request.
+        n_naive = naive_queries if naive_queries is not None else min(100, n_queries)
+        start = time.perf_counter()
+        for q in queries[:n_naive]:
+            model.encode([q])
+        naive_seconds = time.perf_counter() - start
+
+        batch_count = batch_hist.count - batches_before
+        batch_requests = batch_hist.total - batch_total_before
+        batch_mean = batch_requests / batch_count if batch_count else 0.0
+        return ServeBenchResult(
+            n_db=n_db,
+            n_queries=n_queries,
+            workers=workers,
+            batch_size=batch_size,
+            served_seconds=served_seconds,
+            naive_seconds=naive_seconds,
+            naive_queries=n_naive,
+            completed=completed,
+            dropped=dropped,
+            degraded=degraded,
+            cache_hits=cache_hits,
+            latency_p50=latencies[len(latencies) // 2] if latencies else 0.0,
+            latency_p99=latencies[min(len(latencies) - 1, int(len(latencies) * 0.99))]
+            if latencies
+            else 0.0,
+            batch_size_mean=batch_mean,
+        )
+    finally:
+        sys.setswitchinterval(switch_before)
+        server.close()
+
+
+def format_serve_bench(result: ServeBenchResult) -> str:
+    """Human-readable serve-bench report (what the CLI prints)."""
+    lines = [
+        f"serve-bench: {result.n_queries} queries x {result.workers} workers "
+        f"over {result.n_db} indexed trajectories",
+        f"  served    {result.served_qps:10.1f} qps "
+        f"({result.served_seconds:.3f}s total)",
+        f"  naive     {result.naive_qps:10.1f} qps "
+        f"({result.naive_queries} one-forward encodes)",
+        f"  speedup   {result.speedup:10.2f}x",
+        f"  latency   p50 {result.latency_p50 * 1e3:8.2f} ms   "
+        f"p99 {result.latency_p99 * 1e3:8.2f} ms",
+        f"  batching  mean batch {result.batch_size_mean:.1f} "
+        f"(max {result.batch_size})",
+        f"  health    completed {result.completed}/{result.n_queries}, "
+        f"dropped {result.dropped}, degraded {result.degraded}, "
+        f"cache hits {result.cache_hits}",
+    ]
+    return "\n".join(lines)

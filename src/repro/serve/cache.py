@@ -1,0 +1,121 @@
+"""LRU embedding cache keyed by trajectory content hash.
+
+Serving turns similarity queries into embedding distances (the paper's
+core efficiency claim, Table III), so the expensive step on the hot path
+is the encoder forward.  Real query streams are heavily repetitive —
+popular routes recur — which makes a content-addressed cache the first
+line of defence before the micro-batching queue.
+
+Keys are SHA-1 digests of the raw float64 point bytes plus the shape, so
+two trajectories hash equal exactly when their coordinate arrays are
+bit-identical; no tolerance-based matching (that would silently change
+answers).  Eviction is least-recently-used.  All methods are thread-safe:
+worker threads probe the cache concurrently while the batcher thread
+fills it.
+
+Hit/miss totals are mirrored into the process metrics registry
+(``serve.cache.hits`` / ``serve.cache.misses`` counters and a
+``serve.cache.size`` gauge) so ``serve-bench`` and run records can report
+hit rates without reaching into server internals.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Optional
+
+import numpy as np
+
+from ..obs.metrics import get_registry
+
+__all__ = ["EmbeddingCache", "trajectory_key"]
+
+
+def trajectory_key(traj) -> str:
+    """Content hash of a trajectory: SHA-1 over shape + float64 point bytes.
+
+    Accepts raw ``(n, 2)`` arrays or ``Trajectory`` objects (anything with
+    a ``.points`` attribute).  Bit-identical coordinate arrays — and only
+    those — map to the same key.
+    """
+    points = traj.points if hasattr(traj, "points") else traj
+    points = np.ascontiguousarray(np.asarray(points, dtype=np.float64))
+    digest = hashlib.sha1()
+    digest.update(str(points.shape).encode("ascii"))
+    digest.update(points.tobytes())
+    return digest.hexdigest()
+
+
+class EmbeddingCache:
+    """Thread-safe LRU cache from trajectory content hash to embedding.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of embeddings retained; the least recently used
+        entry is evicted when full.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: str) -> Optional[np.ndarray]:
+        """The cached embedding for ``key``, or None; counts a hit or miss."""
+        registry = get_registry()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                registry.counter("serve.cache.misses").inc()
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            registry.counter("serve.cache.hits").inc()
+            return entry
+
+    def put(self, key: str, embedding: np.ndarray) -> None:
+        """Insert (or refresh) one embedding, evicting LRU entries if full."""
+        embedding = np.asarray(embedding, dtype=np.float64)
+        registry = get_registry()
+        with self._lock:
+            self._entries[key] = embedding
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+            registry.gauge("serve.cache.size").set(len(self._entries))
+
+    @property
+    def hits(self) -> int:
+        """Number of :meth:`get` calls that found an entry."""
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        """Number of :meth:`get` calls that found nothing."""
+        return self._misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when never probed)."""
+        total = self._hits + self._misses
+        if total == 0:
+            return 0.0
+        return self._hits / total
+
+    def clear(self) -> None:
+        """Drop every cached embedding (hit/miss totals are kept)."""
+        with self._lock:
+            self._entries.clear()
+            get_registry().gauge("serve.cache.size").set(0)

@@ -1,0 +1,134 @@
+"""Golden-file regression test for the training pipeline.
+
+A fixed-seed, two-epoch TMN training run must reproduce the checked-in
+loss curve and the embedding of the first training trajectory to tight
+tolerances.  This pins the *numbers*, not just the shapes: any change to
+the autograd engine, the samplers, the loss, the optimizer or the metric
+ground truth that shifts results will fail here — intentionally.
+
+If a numeric change is deliberate, regenerate the snapshot and review the
+diff before committing it:
+
+    make regen-golden        # = python tests/test_golden_regression.py
+
+Tolerances are stored *in* the golden file so the assertion and the
+snapshot travel together.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro import TMN, TMNConfig, Trainer
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "trainer_golden.json"
+
+#: The pinned scenario.  Tiny on purpose — the point is bit-level drift
+#: detection, not model quality — but it exercises the full stack: the
+#: matching mechanism, rank sampling, exact DTW ground truth, Adam.
+CONFIG = dict(
+    hidden_dim=8,
+    matching=True,
+    epochs=2,
+    sampling_number=4,
+    batch_anchors=4,
+    seed=7,
+)
+N_TRAJS = 14
+TRAJ_LEN = 8
+DATA_SEED = 123
+METRIC = "dtw"
+
+
+def _make_trajectories():
+    rng = np.random.default_rng(DATA_SEED)
+    lengths = rng.integers(TRAJ_LEN - 2, TRAJ_LEN + 3, size=N_TRAJS)
+    return [rng.normal(size=(int(L), 2)) for L in lengths]
+
+
+def _golden_run():
+    """The pinned training run; returns the snapshot payload."""
+    trajs = _make_trajectories()
+    model = TMN(TMNConfig(**CONFIG))
+    trainer = Trainer(model, model.config, metric=METRIC)
+    history = trainer.fit(trajs)
+    embedding = model.encode([trajs[0]])[0]
+    return {
+        "config": CONFIG,
+        "metric": METRIC,
+        "n_trajs": N_TRAJS,
+        "data_seed": DATA_SEED,
+        "epoch_losses": [float(x) for x in history.epoch_losses],
+        "grad_norms": [float(x) for x in history.grad_norms],
+        "effective_alpha": float(trainer.effective_alpha),
+        "first_embedding": [float(x) for x in embedding],
+        # Explicit tolerances: loose enough for BLAS/platform jitter,
+        # tight enough that any algorithmic change trips them.
+        "tolerances": {"rtol": 1e-7, "atol": 1e-9},
+    }
+
+
+def test_trainer_matches_golden_snapshot():
+    assert GOLDEN_PATH.exists(), (
+        f"missing golden file {GOLDEN_PATH}; run `make regen-golden`"
+    )
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert golden["config"] == CONFIG, (
+        "golden file was generated for a different scenario; run `make regen-golden`"
+    )
+    fresh = _golden_run()
+    rtol = golden["tolerances"]["rtol"]
+    atol = golden["tolerances"]["atol"]
+    np.testing.assert_allclose(
+        fresh["epoch_losses"],
+        golden["epoch_losses"],
+        rtol=rtol,
+        atol=atol,
+        err_msg="loss curve drifted from the golden snapshot",
+    )
+    np.testing.assert_allclose(
+        fresh["grad_norms"], golden["grad_norms"], rtol=rtol, atol=atol,
+        err_msg="gradient norms drifted from the golden snapshot",
+    )
+    np.testing.assert_allclose(
+        fresh["effective_alpha"], golden["effective_alpha"], rtol=rtol, atol=atol
+    )
+    np.testing.assert_allclose(
+        fresh["first_embedding"],
+        golden["first_embedding"],
+        rtol=rtol,
+        atol=atol,
+        err_msg="first-trajectory embedding drifted from the golden snapshot",
+    )
+
+
+def test_golden_run_is_deterministic():
+    """Two fresh runs agree exactly — the precondition for pinning at all."""
+    a = _golden_run()
+    b = _golden_run()
+    assert a["epoch_losses"] == b["epoch_losses"]
+    assert a["first_embedding"] == b["first_embedding"]
+
+
+def test_golden_file_well_formed():
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert len(golden["epoch_losses"]) == CONFIG["epochs"]
+    assert len(golden["first_embedding"]) == CONFIG["hidden_dim"]
+    assert all(np.isfinite(golden["epoch_losses"]))
+    assert all(np.isfinite(golden["first_embedding"]))
+    assert golden["tolerances"]["rtol"] > 0
+
+
+def main():
+    """Regenerate the snapshot (`make regen-golden`)."""
+    payload = _golden_run()
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {GOLDEN_PATH}")
+    print(f"  epoch_losses = {payload['epoch_losses']}")
+    print(f"  |first_embedding| = {np.linalg.norm(payload['first_embedding']):.6f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -102,3 +102,139 @@ class TestIntegrationWithEmbeddings:
         _, approx = index.query(emb[0], k=5, ef=50)
         _, exact = knn_brute(emb, emb[0][None], 5)
         assert len(set(approx.tolist()) & set(exact[0].tolist())) >= 3
+
+
+class TestQueryBatch:
+    def test_matches_single_queries(self, built, rng):
+        index, pts = built
+        queries = rng.normal(size=(7, 8))
+        dists, ids = index.query_batch(queries, k=3, ef=50)
+        assert dists.shape == (7, 3) and ids.shape == (7, 3)
+        for row, q in enumerate(queries):
+            d_single, i_single = index.query(q, k=3, ef=50)
+            np.testing.assert_array_equal(ids[row], i_single)
+            np.testing.assert_allclose(dists[row], d_single)
+
+    def test_empty_batch(self, built):
+        index, _ = built
+        dists, ids = index.query_batch(np.zeros((0, 8)), k=2)
+        assert dists.shape == (0, 2) and ids.shape == (0, 2)
+
+    def test_validation(self, built):
+        index, _ = built
+        with pytest.raises(ValueError):
+            index.query_batch(np.zeros(8), k=1)  # 1-D, not a batch
+        with pytest.raises(ValueError):
+            index.query_batch(np.zeros((3, 5)), k=1)  # wrong dim
+
+
+class TestConcurrency:
+    """The serving layer queries from worker threads while inserts happen.
+
+    The contract (see the module docstring): operations serialise on an
+    internal lock — concurrent readers must never crash, never observe a
+    half-linked graph, and never return an id >= the index size they
+    observed."""
+
+    def test_queries_during_adds(self, rng):
+        import threading
+
+        index = HNSWIndex(dim=4, m=6, ef_construction=32, seed=0)
+        index.add_batch(rng.normal(size=(10, 4)))
+        vectors = rng.normal(size=(120, 4))
+        queries = rng.normal(size=(40, 4))
+        errors = []
+        stop = threading.Event()
+
+        def writer():
+            try:
+                for v in vectors:
+                    index.add(v)
+            finally:
+                stop.set()
+
+        def reader(seed):
+            local = np.random.default_rng(seed)
+            try:
+                while not stop.is_set():
+                    q = queries[int(local.integers(0, len(queries)))]
+                    size_before = len(index)
+                    dists, ids = index.query(q, k=3)
+                    assert len(ids) == 3
+                    # Ids must come from trajectories present at query time;
+                    # the size can only have grown since we sampled it.
+                    assert np.all(ids < len(index))
+                    assert np.all(ids >= 0)
+                    assert np.all(np.isfinite(dists))
+                    assert len(index) >= size_before
+            except Exception as exc:  # pragma: no cover - fails the test
+                errors.append(exc)
+
+        readers = [threading.Thread(target=reader, args=(s,)) for s in range(3)]
+        writer_thread = threading.Thread(target=writer)
+        for t in readers:
+            t.start()
+        writer_thread.start()
+        writer_thread.join()
+        for t in readers:
+            t.join()
+        assert not errors
+        assert len(index) == 130
+
+    def test_concurrent_adds_assign_unique_ids(self, rng):
+        import threading
+
+        index = HNSWIndex(dim=3, m=4, seed=1)
+        vectors = rng.normal(size=(60, 3))
+        ids = []
+        lock = threading.Lock()
+
+        def worker(part):
+            for v in part:
+                node = index.add(v)
+                with lock:
+                    ids.append(node)
+
+        threads = [
+            threading.Thread(target=worker, args=(vectors[w::4],)) for w in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(ids) == list(range(60))
+        assert len(index) == 60
+
+    def test_query_batch_during_adds(self, rng):
+        import threading
+
+        index = HNSWIndex(dim=4, m=6, seed=2)
+        index.add_batch(rng.normal(size=(20, 4)))
+        inserts = rng.normal(size=(60, 4))
+        queries = rng.normal(size=(5, 4))
+        errors = []
+        stop = threading.Event()
+
+        def writer():
+            try:
+                for v in inserts:
+                    index.add(v)
+            finally:
+                stop.set()
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    dists, ids = index.query_batch(queries, k=2)
+                    assert ids.shape == (5, 2)
+                    assert np.all(ids < len(index))
+            except Exception as exc:  # pragma: no cover - fails the test
+                errors.append(exc)
+
+        reader_thread = threading.Thread(target=reader)
+        writer_thread = threading.Thread(target=writer)
+        reader_thread.start()
+        writer_thread.start()
+        writer_thread.join()
+        reader_thread.join()
+        assert not errors

@@ -1,0 +1,170 @@
+"""Property tests for the exact metrics: batch/scalar agreement + axioms.
+
+Two families, both over seeded random *ragged* batches (mixed lengths, so
+the padding/masking paths of the anti-diagonal DP engines are exercised):
+
+1. **Batch == scalar.**  For every registered metric, the vectorised
+   ``MetricSpec.batch`` over padded stacks must match the scalar
+   ``MetricSpec.scalar`` pairwise to 1e-9.  This is the contract that lets
+   `repro.metrics.matrix` (and the serving degraded path) use the batched
+   engines as ground truth.
+2. **Metric axioms.**  Symmetry, identity (d(a, a) = 0) and
+   non-negativity for all metrics; the triangle inequality for the two
+   that are genuine metrics on point sets/curves (discrete Fréchet and
+   Hausdorff — DTW/ERP/EDR/LCSS famously violate it, so it is *not*
+   asserted for them).
+
+Everything is seeded: failures reproduce exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.metrics import METRIC_NAMES, get_metric, pad_trajectories
+
+ATOL = 1e-9
+
+#: Metrics for which the triangle inequality d(a,c) <= d(a,b) + d(b,c)
+#: actually holds (discrete Fréchet and Hausdorff are true metrics on
+#: curves / point sets; the DP edit-style distances are not).
+TRIANGLE_METRICS = ("frechet", "hausdorff")
+
+
+def _ragged_batch(seed, n, min_len=2, max_len=17, scale=1.0):
+    """``n`` trajectories with independently drawn lengths (seeded)."""
+    rng = np.random.default_rng(seed)
+    lengths = rng.integers(min_len, max_len + 1, size=n)
+    return [rng.normal(scale=scale, size=(int(L), 2)) for L in lengths]
+
+
+def _pair_stacks(trajs_a, trajs_b):
+    """Pad two trajectory lists into aligned (P, L, 2) stacks + lengths."""
+    pa, la = pad_trajectories(trajs_a)
+    pb, lb = pad_trajectories(trajs_b)
+    longest = max(pa.shape[1], pb.shape[1])
+
+    def widen(points):
+        if points.shape[1] == longest:
+            return points
+        out = np.zeros((points.shape[0], longest, 2))
+        out[:, : points.shape[1]] = points
+        return out
+
+    return widen(pa), widen(pb), la, lb
+
+
+# ---------------------------------------------------------------------------
+# 1. Batched DP engines match the scalar reference pairwise.
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("metric", METRIC_NAMES)
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_batch_matches_scalar_on_ragged_pairs(metric, seed):
+    spec = get_metric(metric)
+    trajs_a = _ragged_batch(seed, 12)
+    trajs_b = _ragged_batch(seed + 100, 12)
+    pa, pb, la, lb = _pair_stacks(trajs_a, trajs_b)
+    batched = spec.batch(pa, pb, la, lb)
+    assert batched.shape == (12,)
+    expected = np.array([spec.scalar(a, b) for a, b in zip(trajs_a, trajs_b)])
+    np.testing.assert_allclose(batched, expected, rtol=0.0, atol=ATOL)
+
+
+@pytest.mark.parametrize("metric", METRIC_NAMES)
+def test_batch_matches_scalar_extreme_length_mismatch(metric):
+    """One point vs a long trajectory — the masking corner of the DP."""
+    spec = get_metric(metric)
+    rng = np.random.default_rng(7)
+    trajs_a = [rng.normal(size=(1, 2)) for _ in range(4)]
+    trajs_b = [rng.normal(size=(int(L), 2)) for L in (25, 1, 13, 2)]
+    pa, pb, la, lb = _pair_stacks(trajs_a, trajs_b)
+    batched = spec.batch(pa, pb, la, lb)
+    expected = np.array([spec.scalar(a, b) for a, b in zip(trajs_a, trajs_b)])
+    np.testing.assert_allclose(batched, expected, rtol=0.0, atol=ATOL)
+
+
+@pytest.mark.parametrize("metric", METRIC_NAMES)
+def test_batch_matches_scalar_large_coordinates(metric):
+    """Raw lon/lat-scale coordinates (the paper's regime, not unit noise)."""
+    spec = get_metric(metric)
+    trajs_a = [t * 50.0 + 100.0 for t in _ragged_batch(11, 8)]
+    trajs_b = [t * 50.0 + 100.0 for t in _ragged_batch(12, 8)]
+    pa, pb, la, lb = _pair_stacks(trajs_a, trajs_b)
+    batched = spec.batch(pa, pb, la, lb)
+    expected = np.array([spec.scalar(a, b) for a, b in zip(trajs_a, trajs_b)])
+    # 1e-9 absolute is too tight at coordinate scale ~100; the contract
+    # here is relative agreement of the same float64 recurrences.
+    np.testing.assert_allclose(batched, expected, rtol=1e-12, atol=1e-9)
+
+
+# ---------------------------------------------------------------------------
+# 2. Metric axioms.
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("metric", METRIC_NAMES)
+@pytest.mark.parametrize("seed", [3, 4])
+def test_symmetry(metric, seed):
+    spec = get_metric(metric)
+    trajs_a = _ragged_batch(seed, 10)
+    trajs_b = _ragged_batch(seed + 50, 10)
+    for a, b in zip(trajs_a, trajs_b):
+        assert spec.scalar(a, b) == pytest.approx(spec.scalar(b, a), abs=ATOL)
+
+
+@pytest.mark.parametrize("metric", METRIC_NAMES)
+def test_symmetry_batched(metric):
+    spec = get_metric(metric)
+    trajs_a = _ragged_batch(21, 10)
+    trajs_b = _ragged_batch(22, 10)
+    pa, pb, la, lb = _pair_stacks(trajs_a, trajs_b)
+    forward = spec.batch(pa, pb, la, lb)
+    backward = spec.batch(pb, pa, lb, la)
+    np.testing.assert_allclose(forward, backward, rtol=0.0, atol=ATOL)
+
+
+@pytest.mark.parametrize("metric", METRIC_NAMES)
+def test_identity(metric):
+    spec = get_metric(metric)
+    for seed in range(5):
+        (traj,) = _ragged_batch(seed + 30, 1)
+        assert spec.scalar(traj, traj) == pytest.approx(0.0, abs=ATOL)
+
+
+@pytest.mark.parametrize("metric", METRIC_NAMES)
+def test_non_negativity(metric):
+    spec = get_metric(metric)
+    trajs_a = _ragged_batch(41, 16)
+    trajs_b = _ragged_batch(42, 16)
+    pa, pb, la, lb = _pair_stacks(trajs_a, trajs_b)
+    batched = spec.batch(pa, pb, la, lb)
+    assert np.all(batched >= -ATOL)
+    assert np.all(np.isfinite(batched))
+
+
+@pytest.mark.parametrize("metric", TRIANGLE_METRICS)
+@pytest.mark.parametrize("seed", [5, 6, 7])
+def test_triangle_inequality(metric, seed):
+    spec = get_metric(metric)
+    trajs = _ragged_batch(seed, 9)
+    for i in range(0, 9, 3):
+        a, b, c = trajs[i], trajs[i + 1], trajs[i + 2]
+        d_ac = spec.scalar(a, c)
+        d_ab = spec.scalar(a, b)
+        d_bc = spec.scalar(b, c)
+        assert d_ac <= d_ab + d_bc + ATOL
+
+
+@pytest.mark.parametrize("metric", ("edr", "lcss"))
+def test_edit_metrics_bounded(metric):
+    """EDR and LCSS (as normalised here) stay within their known ranges."""
+    spec = get_metric(metric)
+    trajs_a = _ragged_batch(51, 12)
+    trajs_b = _ragged_batch(52, 12)
+    pa, pb, la, lb = _pair_stacks(trajs_a, trajs_b)
+    batched = spec.batch(pa, pb, la, lb)
+    if metric == "lcss":
+        assert np.all(batched <= 1.0 + ATOL)
+    else:
+        assert np.all(batched <= np.maximum(la, lb) + ATOL)

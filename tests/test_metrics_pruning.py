@@ -92,3 +92,64 @@ def test_property_bounds_admissible(seed):
     exact = dtw(a, b)
     assert lb_kim(a, b) <= exact + 1e-9
     assert lb_pointwise(a, b) <= exact + 1e-9
+
+
+class TestTieHandling:
+    """Duplicate distances at the k-boundary must not change the answer.
+
+    With exact duplicates in the database, several candidates share the
+    k-th best distance; the pruned search may legitimately pick either of
+    two tied indices, but the returned *distance multiset* must equal the
+    brute-force one, and every index strictly better than the k-th
+    distance must be present."""
+
+    @staticmethod
+    def brute_topk_distances(query, database, k):
+        dists = np.array([dtw(query, t) for t in database])
+        return dists, np.sort(dists)[:k]
+
+    def _assert_tie_consistent(self, query, database, k):
+        ids, stats = pruned_dtw_topk(query, database, k=k)
+        assert len(ids) == k
+        assert len(set(ids)) == k  # no index returned twice
+        all_dists, expected = self.brute_topk_distances(query, database, k)
+        got = np.sort(all_dists[list(ids)])
+        np.testing.assert_allclose(got, expected, atol=1e-9)
+        # Anything strictly inside the k-th distance must be included.
+        kth = expected[-1]
+        must_have = {i for i, d in enumerate(all_dists) if d < kth - 1e-9}
+        assert must_have <= set(ids)
+        assert stats.dtw_evaluations + stats.pruned_by_kim + stats.pruned_by_pointwise == len(database)
+
+    def test_duplicates_straddling_the_boundary(self, rng):
+        base = [rng.normal(size=(int(rng.integers(4, 9)), 2)) for _ in range(6)]
+        # Three exact copies of one trajectory: its distance appears three
+        # times; with k=4 the ties straddle the boundary.
+        database = base + [base[2].copy(), base[2].copy()]
+        query = rng.normal(size=(6, 2))
+        self._assert_tie_consistent(query, database, k=4)
+
+    def test_all_duplicates(self, rng):
+        traj = rng.normal(size=(7, 2))
+        database = [traj.copy() for _ in range(6)]
+        query = rng.normal(size=(5, 2))
+        self._assert_tie_consistent(query, database, k=3)
+
+    def test_query_duplicated_in_database(self, rng):
+        query = rng.normal(size=(6, 2))
+        database = [rng.normal(size=(6, 2)) for _ in range(5)]
+        database.insert(2, query.copy())
+        database.insert(4, query.copy())
+        ids, _ = pruned_dtw_topk(query, database, k=2)
+        # Both zero-distance copies win (order between them is free).
+        assert set(ids) == {2, 4}
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("k", [1, 3, 5])
+    def test_randomised_with_injected_ties(self, seed, k):
+        rng = np.random.default_rng(seed)
+        base = [rng.normal(size=(int(rng.integers(3, 10)), 2)) for _ in range(7)]
+        dup = base[int(rng.integers(0, len(base)))]
+        database = base + [dup.copy(), dup.copy(), dup.copy()]
+        query = rng.normal(size=(int(rng.integers(3, 10)), 2))
+        self._assert_tie_consistent(query, database, k=k)
