@@ -1,7 +1,7 @@
 # Convenience targets for the TMN reproduction.
 
 .PHONY: install test lint lint-json bench bench-fast bench-json bench-serve \
-	regen-golden profile examples clean
+	bench-check trace-demo verify regen-golden profile examples clean
 
 install:
 	pip install -e .
@@ -35,6 +35,28 @@ bench-json:
 bench-serve:
 	REPRO_BENCH_JSON=BENCH_serve.json PYTHONPATH=src \
 		python -m pytest benchmarks/test_serve_throughput.py --benchmark-only
+
+# Bench-regression gate: diff the checked-in bench trajectories against
+# their committed baselines with per-metric, direction-aware tolerances
+# (see repro.obs.benchgate).  After an intentional perf change, refresh
+# the baselines (cp BENCH_*.json benchmarks/baselines/) and review the diff.
+bench-check:
+	@test -f BENCH_results.json || \
+		{ echo "BENCH_results.json not found: run 'make bench-json' first"; exit 2; }
+	@test -f BENCH_serve.json || \
+		{ echo "BENCH_serve.json not found: run 'make bench-serve' first"; exit 2; }
+	PYTHONPATH=src python -m repro.cli bench-diff \
+		BENCH_results.json benchmarks/baselines/BENCH_results.json
+	PYTHONPATH=src python -m repro.cli bench-diff \
+		BENCH_serve.json benchmarks/baselines/BENCH_serve.json
+
+# Run a small seeded serve workload and print critical-path trees for the
+# slowest request traces (queue-wait vs forward vs index attribution).
+trace-demo:
+	PYTHONPATH=src python -m repro.cli trace --demo --top 3
+
+# The default verification path: lint, tier-1 tests, bench-regression gate.
+verify: lint test bench-check
 
 # Re-snapshot the golden trainer regression file after an INTENTIONAL
 # numeric change (review the diff before committing it).

@@ -50,6 +50,9 @@ def _run_best_of(attempts: int):
         assert result.dropped == 0, f"dropped {result.dropped} requests"
         assert result.completed == N_QUERIES
         assert result.degraded == 0, "no deadline set, nothing should degrade"
+        # run_serve_bench already raises SLOViolation on breach; the
+        # statuses must also land in the result for the bench JSON.
+        assert result.slo_statuses and result.slo_ok
         if best is None or result.speedup > best.speedup:
             best = result
         if best.speedup >= MIN_SPEEDUP:

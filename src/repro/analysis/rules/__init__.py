@@ -9,6 +9,7 @@ Importing this package registers every rule with
 - R004 (:mod:`.dtype`) — float64 engine discipline, no narrow-float drift;
 - R005/R006 (:mod:`.api`) — ``__all__`` accuracy and public docstrings;
 - R007 (:mod:`.prints`) — no bare ``print`` in library code;
+- R008 (:mod:`.tracing`) — span/trace objects must be context-managed;
 - S001 (:mod:`.wiring`) — symbolic layer-dimension checking;
 - D001/D002 (:mod:`.differentiability`) — backward/gradcheck coverage and
   detach-free forward paths, audited over the cross-module call graph;
@@ -25,6 +26,7 @@ from . import (
     prints,
     rng,
     stability,
+    tracing,
     wiring,
 )
 
@@ -37,5 +39,6 @@ __all__ = [
     "prints",
     "rng",
     "stability",
+    "tracing",
     "wiring",
 ]

@@ -8,7 +8,12 @@ Subcommands::
     repro-tmn evaluate   --checkpoint ckpt --kind porto --metric dtw
     repro-tmn experiment table2 --dataset porto --metric dtw [--fast]
     repro-tmn report     runs/run.jsonl
-    repro-tmn serve-bench --queries 500 --workers 4 [--json]
+    repro-tmn serve-bench --queries 500 --workers 4 [--json] \
+                         [--trace-log traces.jsonl]
+    repro-tmn metrics    [--demo]
+    repro-tmn trace      [traces.jsonl] [--demo] [--top 3]
+    repro-tmn bench-diff BENCH_serve.json benchmarks/baselines/BENCH_serve.json \
+                         [--json] [--tolerance METRIC=REL ...]
     repro-tmn lint       [paths ...] [--format text|json|sarif] \
                          [--rules R001,N001] [--baseline lint_baseline.json \
                          [--update-baseline]]
@@ -17,12 +22,16 @@ Subcommands::
 paper-style text table; ``--fast`` switches from BENCH to SMOKE scale.
 ``serve-bench`` drives the concurrent serving layer (micro-batching
 encode queue + embedding cache + HNSW top-k) under a worker pool and
-reports throughput against naive one-request-one-forward encoding.
+reports throughput against naive one-request-one-forward encoding;
+``--trace-log`` mirrors every request trace to JSONL for ``trace``.
 ``train --log-json`` persists a JSONL run record (config, seed, per-epoch
 loss/grad-norm/timing) and ``--profile`` times every autograd op;
-``report`` pretty-prints a run record.  ``lint`` runs the project's
-static-analysis pass (``repro.analysis``) and exits non-zero when
-violations are found.
+``report`` pretty-prints a run record.  ``metrics`` renders the metrics
+registry in Prometheus exposition format; ``trace`` prints critical-path
+trees for the slowest recorded traces; ``bench-diff`` gates a fresh
+bench JSON against a committed baseline with per-metric tolerances
+(``make bench-check``).  ``lint`` runs the project's static-analysis
+pass (``repro.analysis``) and exits non-zero when violations are found.
 """
 
 from __future__ import annotations
@@ -140,6 +149,58 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--json", action="store_true", help="print the result dict as JSON"
     )
+    serve.add_argument(
+        "--trace-log",
+        default=None,
+        metavar="PATH",
+        help="mirror every request trace to a JSONL file (view: repro-tmn trace)",
+    )
+
+    metrics = sub.add_parser(
+        "metrics", help="render the metrics registry in Prometheus text format"
+    )
+    metrics.add_argument(
+        "--demo",
+        action="store_true",
+        help="run a small seeded serve workload first so there is data to show",
+    )
+
+    trace = sub.add_parser(
+        "trace", help="print critical-path trees for the slowest recorded traces"
+    )
+    trace.add_argument(
+        "path",
+        nargs="?",
+        default=None,
+        help="JSONL trace log (from serve-bench --trace-log); default: in-process ring",
+    )
+    trace.add_argument(
+        "--demo",
+        action="store_true",
+        help="run a small seeded serve workload first so the ring has traces",
+    )
+    trace.add_argument(
+        "--top", type=int, default=3, help="how many slowest traces to print"
+    )
+    trace.add_argument(
+        "--name", default=None, help="only consider traces with this name"
+    )
+
+    diff = sub.add_parser(
+        "bench-diff", help="compare a bench JSON against a committed baseline"
+    )
+    diff.add_argument("current", help="freshly produced bench JSON")
+    diff.add_argument("baseline", help="committed baseline bench JSON")
+    diff.add_argument(
+        "--json", action="store_true", help="print the full diff as JSON"
+    )
+    diff.add_argument(
+        "--tolerance",
+        action="append",
+        default=[],
+        metavar="METRIC=REL",
+        help="override the relative tolerance for one metric (repeatable)",
+    )
 
     lint = sub.add_parser("lint", help="run the project static-analysis pass")
     lint.add_argument("paths", nargs="*", default=["src"])
@@ -201,9 +262,12 @@ def _cmd_train(args) -> int:
         if profiler is not None:
             profiler.disable()
     if writer is not None:
+        from .obs import get_registry
+
         writer.finish(
             final_loss=history.final_loss,
             op_profile=profiler.snapshot() if profiler else None,
+            metrics=get_registry().snapshot(),
         )
     if profiler is not None:
         print(format_op_table(profiler.snapshot()))
@@ -285,12 +349,83 @@ def _cmd_serve_bench(args) -> int:
         seed=args.seed,
         deadline_s=deadline,
         traj_len=args.traj_len,
+        trace_log=args.trace_log,
     )
     if args.json:
         print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
     else:
         print(format_serve_bench(result))
     return 0 if result.dropped == 0 else 1
+
+
+def _run_demo_workload() -> None:
+    """A small seeded serve run so metrics/trace have real data to show."""
+    from .serve import run_serve_bench
+
+    run_serve_bench(n_db=12, n_queries=48, workers=4, naive_queries=4, seed=0)
+
+
+def _cmd_metrics(args) -> int:
+    from .obs import get_registry, render_exposition
+
+    if args.demo:
+        _run_demo_workload()
+    print(render_exposition(get_registry()), end="")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from .obs import format_trace, get_tracer, read_trace_log
+
+    if args.demo:
+        _run_demo_workload()
+    if args.path is not None:
+        try:
+            traces = read_trace_log(args.path)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.name is not None:
+            traces = [t for t in traces if t.name == args.name]
+    else:
+        traces = get_tracer().recent(name=args.name)
+    if not traces:
+        hint = " (try --demo, or serve-bench --trace-log)" if args.path is None else ""
+        print(f"no traces recorded{hint}")
+        return 1
+    slowest = sorted(traces, key=lambda t: t.duration, reverse=True)[: args.top]
+    blocks = [format_trace(t, deadline_s=t.attrs.get("deadline_s")) for t in slowest]
+    print(f"{len(traces)} trace(s); slowest {len(slowest)}:\n")
+    print("\n\n".join(blocks))
+    return 0
+
+
+def _cmd_bench_diff(args) -> int:
+    import json
+
+    from .obs import compare_bench_files
+
+    overrides = {}
+    for spec in args.tolerance:
+        metric, _, rel = spec.partition("=")
+        if not metric or not rel:
+            print(f"error: bad --tolerance {spec!r} (want METRIC=REL)", file=sys.stderr)
+            return 2
+        try:
+            overrides[metric] = float(rel)
+        except ValueError:
+            print(f"error: bad --tolerance value {rel!r}", file=sys.stderr)
+            return 2
+    try:
+        diff = compare_bench_files(args.current, args.baseline, overrides=overrides)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(diff.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(diff.format_text())
+    return 0 if diff.ok else 1
 
 
 def _cmd_report(args) -> int:
@@ -349,6 +484,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment": _cmd_experiment,
         "report": _cmd_report,
         "serve-bench": _cmd_serve_bench,
+        "metrics": _cmd_metrics,
+        "trace": _cmd_trace,
+        "bench-diff": _cmd_bench_diff,
         "lint": _cmd_lint,
     }
     try:

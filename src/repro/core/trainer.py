@@ -20,6 +20,7 @@ from ..nn import gather_last
 from ..obs.log import get_logger
 from ..obs.metrics import get_registry
 from ..obs.spans import SpanRecorder, diff_totals
+from ..obs.trace import get_tracer, trace_span
 from ..optim import Adam, clip_grad_norm
 from .config import TMNConfig, alpha_for_metric
 from .loss import pair_loss
@@ -143,19 +144,32 @@ class Trainer:
             losses: List[float] = []
             norms: List[float] = []
             anchors = rng.permutation(len(points))
-            with self.spans.span("epoch"):
+            # One request-scoped trace per epoch: batch child spans (with
+            # forward/loss/backward/optimizer grandchildren) make a slow
+            # epoch inspectable via `repro-tmn trace`, complementing the
+            # aggregate SpanRecorder totals.
+            with self.spans.span("epoch"), get_tracer().trace(
+                "train.epoch",
+                epoch=len(history.epoch_losses) + 1,
+                metric=self.metric.name,
+            ) as epoch_trace:
                 for chunk_start in range(0, len(anchors), self.config.batch_anchors):
                     batch_anchors = anchors[chunk_start : chunk_start + self.config.batch_anchors]
                     samples: List[PairSample] = []
-                    with self.spans.span("sampling"):
+                    with self.spans.span("sampling"), trace_span("sampling"):
                         for a in batch_anchors:
                             samples.extend(sampler.sample(int(a), rng))
-                    loss_value, grad_norm = self._train_step(points, distances, samples)
+                    with trace_span("batch") as batch_span:
+                        loss_value, grad_norm = self._train_step(points, distances, samples)
+                        batch_span.set(pairs=len(samples), loss=loss_value)
                     losses.append(loss_value)
                     norms.append(grad_norm)
                     metrics.counter("train.steps").inc()
                     metrics.counter("train.pairs").inc(len(samples))
                     metrics.histogram("train.grad_norm").observe(grad_norm)
+                epoch_trace.set(
+                    loss=float(np.mean(losses)), batches=len(losses)
+                )
             history.epoch_losses.append(float(np.mean(losses)))
             history.epoch_seconds.append(time.perf_counter() - start)
             history.grad_norms.append(float(np.mean(norms)))
@@ -210,7 +224,7 @@ class Trainer:
         from ..data.batching import pair_batch
 
         with self.spans.span("batch"):
-            with self.spans.span("forward"):
+            with self.spans.span("forward"), trace_span("forward"):
                 trajs_a = [points[s.anchor] for s in samples]
                 trajs_b = [points[s.sample] for s in samples]
                 pa, la, ma, pb, lb, mb = pair_batch(trajs_a, trajs_b)
@@ -219,7 +233,7 @@ class Trainer:
                 emb_b = gather_last(out_b, lb)
                 pred = predicted_similarity(emb_a, emb_b)
 
-            with self.spans.span("loss"):
+            with self.spans.span("loss"), trace_span("loss"):
                 anchor_idx = np.array([s.anchor for s in samples])
                 sample_idx = np.array([s.sample for s in samples])
                 weights = np.array([s.weight for s in samples])
@@ -233,10 +247,10 @@ class Trainer:
                     if sub is not None:
                         loss = loss + sub
 
-            with self.spans.span("backward"):
+            with self.spans.span("backward"), trace_span("backward"):
                 self.optimizer.zero_grad()
                 loss.backward()
-            with self.spans.span("optimizer"):
+            with self.spans.span("optimizer"), trace_span("optimizer"):
                 grad_norm = clip_grad_norm(self.model.parameters(), self.config.grad_clip)
                 self.optimizer.step()
         return float(loss.item()), float(grad_norm)

@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Set, Tuple
 import numpy as np
 
 from ..obs.metrics import get_registry
+from ..obs.trace import annotate
 
 __all__ = ["HNSWIndex"]
 
@@ -214,6 +215,9 @@ class HNSWIndex:
         registry = get_registry()
         registry.counter("index.hnsw.queries").inc()
         registry.counter("index.hnsw.candidates_scanned").inc(visited)
+        # Attribute graph-search effort on the active request trace (the
+        # serving layer's "index" span); no-op outside a trace.
+        annotate(hnsw_candidates=visited, ef=ef)
         ids = np.array([i for _, i in found], dtype=int)
         # Candidate distances are squared L2 values, nonnegative by
         # construction; no eps needed on this no-gradient search path.

@@ -14,7 +14,16 @@ when the measurement layer exists first.  This package provides it:
   stderr plus an optional JSONL mirror;
 - :mod:`repro.obs.run` — JSONL run records (config, seed, per-epoch
   loss/grad-norm/timing, final eval) written by ``repro-tmn train
-  --log-json`` and rendered by ``repro-tmn report``.
+  --log-json`` and rendered by ``repro-tmn report``;
+- :mod:`repro.obs.trace` — request-scoped traces (per-request span trees
+  with explicit cross-thread handoff, bounded recent-trace ring, JSONL
+  trace log, critical-path rendering for ``repro-tmn trace``);
+- :mod:`repro.obs.expo` — Prometheus-style text exposition over the
+  registry (``repro-tmn metrics``);
+- :mod:`repro.obs.slo` — declarative SLOs (latency percentile, degraded
+  rate, drop rate) evaluated over the trace ring;
+- :mod:`repro.obs.benchgate` — bench-regression gate diffing fresh bench
+  JSON against committed baselines (``repro-tmn bench-diff``).
 
 Overhead policy: always-on instrumentation (registry counters, batch-level
 spans, the free-function op guard) must stay under a few hundred
@@ -22,15 +31,31 @@ nanoseconds per event; anything heavier (per-op timing) is opt-in and
 documented as such.  See DESIGN.md §9.
 """
 
+from .benchgate import BenchDiff, compare_bench, compare_bench_files
+from .expo import render_exposition
 from .log import Logger, configure, get_logger
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, get_registry
 from .profile import OpProfiler, OpStat, format_op_table
 from .run import RunRecord, RunWriter, format_run, read_run
+from .slo import SLO, SLOStatus, SLOViolation, check_slos, evaluate_slos, format_slos
 from .spans import SpanRecorder, default_recorder, diff_totals, format_spans, span
+from .trace import (
+    Handoff,
+    Trace,
+    Tracer,
+    annotate,
+    current_trace,
+    format_trace,
+    get_tracer,
+    read_trace_log,
+    trace_span,
+)
 
 __all__ = [
+    "BenchDiff",
     "Counter",
     "Gauge",
+    "Handoff",
     "Histogram",
     "Logger",
     "MetricsRegistry",
@@ -38,15 +63,32 @@ __all__ = [
     "OpStat",
     "RunRecord",
     "RunWriter",
+    "SLO",
+    "SLOStatus",
+    "SLOViolation",
     "SpanRecorder",
+    "Trace",
+    "Tracer",
+    "annotate",
+    "check_slos",
+    "compare_bench",
+    "compare_bench_files",
     "configure",
+    "current_trace",
     "default_recorder",
     "diff_totals",
+    "evaluate_slos",
     "format_op_table",
     "format_run",
+    "format_slos",
     "format_spans",
+    "format_trace",
     "get_logger",
     "get_registry",
+    "get_tracer",
     "read_run",
+    "read_trace_log",
+    "render_exposition",
     "span",
+    "trace_span",
 ]

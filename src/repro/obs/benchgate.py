@@ -1,0 +1,261 @@
+"""Bench-regression gate: diff fresh bench JSON against committed baselines.
+
+``BENCH_results.json`` / ``BENCH_serve.json`` (written by the benchmark
+suite via ``bench_record``) are the repo's perf/quality trajectory, but
+until now nothing *enforced* them.  This module compares a freshly
+produced bench file against a committed baseline with per-metric,
+direction-aware tolerances and fails loudly on regression:
+
+- config echoes (``n_db``, ``workers``, …) must match exactly — a diff
+  against a differently-shaped run is meaningless, so it is an error,
+  not a pass;
+- wall-time metrics (``seconds``, ``latency_*``) may regress up to a
+  generous relative bound (machines and CI load vary) but not beyond;
+- throughput/quality metrics (``*_qps``, ``speedup``, ``hr*``, …) may
+  only *drop* within their bound; improvements never fail;
+- ``dropped`` may never increase — the serving layer's zero-drop
+  promise is absolute.
+
+``repro-tmn bench-diff`` is the CLI front-end; ``make bench-check``
+wires it into the verify path against ``benchmarks/baselines/*.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+__all__ = [
+    "BenchDelta",
+    "BenchDiff",
+    "Tolerance",
+    "compare_bench",
+    "compare_bench_files",
+    "load_bench",
+    "tolerance_for",
+]
+
+
+@dataclass(frozen=True)
+class Tolerance:
+    """How one metric is allowed to move between baseline and current.
+
+    ``direction`` is ``"lower"`` (regression = increase, e.g. latency),
+    ``"higher"`` (regression = decrease, e.g. throughput), ``"both"``
+    (any drift beyond the band regresses) or ``"exact"`` (must match).
+    ``rel``/``abs`` define the allowed band: a move within
+    ``max(rel * |baseline|, abs)`` of the baseline is ok.
+    """
+
+    direction: str
+    rel: float = 0.0
+    abs: float = 0.0
+
+    def band(self, baseline: float) -> float:
+        """Absolute slack allowed around ``baseline``."""
+        return max(self.rel * abs(baseline), self.abs)
+
+
+#: Config echoes recorded into bench quality dicts: exact match required.
+_EXACT = {"n_db", "n_queries", "workers", "batch_size", "naive_queries"}
+
+#: (pattern, tolerance) rules, first match wins.
+_RULES: Tuple[Tuple[re.Pattern, Tolerance], ...] = (
+    # The zero-drop promise is absolute: any increase fails.
+    (re.compile(r"^dropped$"), Tolerance("lower", rel=0.0, abs=0.0)),
+    # Degradation may wobble a little under CI load, not systematically.
+    (re.compile(r"^degraded$"), Tolerance("lower", rel=0.25, abs=4.0)),
+    # Wall-clock timings: machines vary; allow a generous one-sided band.
+    (re.compile(r"(^|_)(seconds|latency)(_|$)|_s$|_ms$"), Tolerance("lower", rel=0.75, abs=0.05)),
+    # Throughput and speedups may only drop so far.
+    (re.compile(r"(_qps$|^speedup$)"), Tolerance("higher", rel=0.40, abs=0.0)),
+    # Quality scores (hit rate / recall / similar): small one-sided band.
+    (re.compile(r"^(hr|recall|precision|ndcg)"), Tolerance("higher", rel=0.10, abs=0.02)),
+    # Losses: lower is better, small band.
+    (re.compile(r"loss"), Tolerance("lower", rel=0.10, abs=1e-3)),
+    # Completion / cache counts: must not fall.
+    (re.compile(r"^(completed|cache_hits)$"), Tolerance("higher", rel=0.0, abs=0.0)),
+)
+
+#: Fallback for unrecognised metrics: symmetric ±50% band.
+_DEFAULT_TOLERANCE = Tolerance("both", rel=0.50, abs=1e-9)
+
+
+def tolerance_for(metric: str, overrides: Optional[Dict[str, float]] = None) -> Tolerance:
+    """The tolerance rule governing ``metric`` (with optional rel overrides).
+
+    ``overrides`` maps exact metric names to a replacement relative
+    tolerance, keeping the matched rule's direction.
+    """
+    if metric in _EXACT:
+        tol = Tolerance("exact")
+    else:
+        tol = _DEFAULT_TOLERANCE
+        for pattern, rule in _RULES:
+            if pattern.search(metric):
+                tol = rule
+                break
+    if overrides and metric in overrides and tol.direction != "exact":
+        tol = Tolerance(tol.direction, rel=overrides[metric], abs=tol.abs)
+    return tol
+
+
+@dataclass
+class BenchDelta:
+    """One (bench, metric) comparison outcome."""
+
+    bench: str
+    metric: str
+    baseline: Optional[float]
+    current: Optional[float]
+    status: str  #: ok | improved | regressed | mismatch | missing | new
+
+    @property
+    def failed(self) -> bool:
+        """Whether this delta fails the gate."""
+        return self.status in ("regressed", "mismatch", "missing")
+
+    def to_dict(self) -> dict:
+        """JSON-ready form of this delta."""
+        return {
+            "bench": self.bench,
+            "metric": self.metric,
+            "baseline": self.baseline,
+            "current": self.current,
+            "status": self.status,
+        }
+
+
+@dataclass
+class BenchDiff:
+    """Full comparison of one bench file against one baseline file."""
+
+    deltas: List[BenchDelta] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no delta fails the gate."""
+        return not any(d.failed for d in self.deltas)
+
+    @property
+    def failures(self) -> List[BenchDelta]:
+        """Every delta that fails the gate."""
+        return [d for d in self.deltas if d.failed]
+
+    def to_dict(self) -> dict:
+        """JSON-ready report (``repro-tmn bench-diff --json``)."""
+        return {
+            "ok": self.ok,
+            "failures": len(self.failures),
+            "deltas": [d.to_dict() for d in self.deltas],
+        }
+
+    def format_text(self, verbose: bool = False) -> str:
+        """Human-readable report; quiet deltas are elided unless verbose."""
+        lines = []
+        shown = self.deltas if verbose else [
+            d for d in self.deltas if d.status != "ok"
+        ]
+        for d in shown:
+            base = "-" if d.baseline is None else f"{d.baseline:.6g}"
+            cur = "-" if d.current is None else f"{d.current:.6g}"
+            flag = "FAIL" if d.failed else "ok  "
+            lines.append(
+                f"  {flag} {d.status:<10s} {d.bench} :: {d.metric:<18s} "
+                f"baseline {base:>12s} -> current {cur:>12s}"
+            )
+        checked = len(self.deltas)
+        if self.ok:
+            lines.append(f"bench gate ok: {checked} metric(s) within tolerance")
+        else:
+            lines.append(
+                f"bench gate FAILED: {len(self.failures)} of {checked} "
+                f"metric(s) out of tolerance"
+            )
+        return "\n".join(lines)
+
+
+def load_bench(path: Union[str, Path]) -> dict:
+    """Load one bench JSON file (``{"benches": {nodeid: {...}}}``)."""
+    with open(path) as fh:
+        data = json.load(fh)
+    if not isinstance(data, dict) or "benches" not in data:
+        raise ValueError(f"{path}: not a bench results file (no 'benches' key)")
+    return data
+
+
+def _judge(value: float, baseline: float, tol: Tolerance) -> str:
+    if tol.direction == "exact":
+        return "ok" if value == baseline else "mismatch"
+    band = tol.band(baseline)
+    delta = value - baseline
+    if tol.direction == "lower":
+        if delta > band:
+            return "regressed"
+        return "improved" if delta < -band else "ok"
+    if tol.direction == "higher":
+        if delta < -band:
+            return "regressed"
+        return "improved" if delta > band else "ok"
+    # both
+    return "ok" if abs(delta) <= band else "regressed"
+
+
+def compare_bench(
+    current: dict,
+    baseline: dict,
+    overrides: Optional[Dict[str, float]] = None,
+) -> BenchDiff:
+    """Compare two loaded bench payloads metric by metric.
+
+    Every baseline bench must be present in ``current`` with a passing
+    outcome; every baseline quality metric (plus the bench wall time)
+    must sit inside its tolerance band.  Benches or metrics present only
+    in ``current`` are reported as ``new`` and never fail.
+    """
+    diff = BenchDiff()
+    cur_benches = current.get("benches", {})
+    base_benches = baseline.get("benches", {})
+    for bench in sorted(base_benches):
+        base_entry = base_benches[bench]
+        cur_entry = cur_benches.get(bench)
+        if cur_entry is None:
+            diff.deltas.append(BenchDelta(bench, "<bench>", None, None, "missing"))
+            continue
+        if cur_entry.get("outcome", "passed") != "passed":
+            diff.deltas.append(BenchDelta(bench, "<outcome>", None, None, "mismatch"))
+        base_quality = dict(base_entry.get("quality", {}))
+        if "seconds" in base_entry:
+            base_quality["seconds"] = base_entry["seconds"]
+        cur_quality = dict(cur_entry.get("quality", {}))
+        if "seconds" in cur_entry:
+            cur_quality["seconds"] = cur_entry["seconds"]
+        for metric in sorted(base_quality):
+            base_value = float(base_quality[metric])
+            if metric not in cur_quality:
+                diff.deltas.append(BenchDelta(bench, metric, base_value, None, "missing"))
+                continue
+            cur_value = float(cur_quality[metric])
+            status = _judge(cur_value, base_value, tolerance_for(metric, overrides))
+            diff.deltas.append(BenchDelta(bench, metric, base_value, cur_value, status))
+        for metric in sorted(set(cur_quality) - set(base_quality)):
+            diff.deltas.append(
+                BenchDelta(bench, metric, None, float(cur_quality[metric]), "new")
+            )
+    for bench in sorted(set(cur_benches) - set(base_benches)):
+        diff.deltas.append(BenchDelta(bench, "<bench>", None, None, "new"))
+    return diff
+
+
+def compare_bench_files(
+    current_path: Union[str, Path],
+    baseline_path: Union[str, Path],
+    overrides: Optional[Dict[str, float]] = None,
+) -> BenchDiff:
+    """Load two bench JSON files and compare them (see :func:`compare_bench`)."""
+    return compare_bench(
+        load_bench(current_path), load_bench(baseline_path), overrides=overrides
+    )

@@ -1,0 +1,116 @@
+"""Prometheus-style text exposition over the metrics registry.
+
+Renders the numeric state of a :class:`~repro.obs.metrics.MetricsRegistry`
+(or a serialised ``snapshot()`` of one, e.g. the ``metrics`` field of a
+JSONL run record) in the Prometheus text format version 0.0.4: one
+``# TYPE`` header per metric family, counters suffixed ``_total``,
+histograms as summaries with ``quantile`` labels plus ``_sum``/``_count``
+series.  Span totals from :class:`~repro.obs.spans.SpanRecorder` are
+exposed as two counter families labelled by span path.
+
+The renderer is pure (dict in, text out) so output is deterministic for
+a fixed snapshot — the property the exposition snapshot tests pin down.
+``repro-tmn metrics`` is the CLI front-end.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Optional, Union
+
+from .metrics import MetricsRegistry, get_registry
+
+__all__ = ["metric_name", "render_exposition"]
+
+_INVALID = re.compile(r"[^a-zA-Z0-9_]")
+
+#: Histogram quantiles exposed per summary family.
+_QUANTILES = (("0.5", "p50"), ("0.9", "p90"), ("0.99", "p99"))
+
+
+def metric_name(name: str, prefix: str = "repro") -> str:
+    """Sanitise a dotted instrument name into a Prometheus metric name.
+
+    ``serve.cache.hits`` → ``repro_serve_cache_hits``; characters outside
+    ``[a-zA-Z0-9_]`` become underscores.
+    """
+    flat = _INVALID.sub("_", name)
+    return f"{prefix}_{flat}" if prefix else flat
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _fmt(value: float) -> str:
+    # Integral values render without a trailing .0 (Prometheus style).
+    if float(value) == int(value):
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_exposition(
+    metrics: Union[MetricsRegistry, Dict[str, dict], None] = None,
+    span_totals: Optional[Dict[str, Dict[str, float]]] = None,
+    prefix: str = "repro",
+) -> str:
+    """Render metrics (and optional span totals) as Prometheus text.
+
+    Parameters
+    ----------
+    metrics:
+        A live registry or an already-serialised ``snapshot()`` dict;
+        defaults to the process registry.
+    span_totals:
+        Optional ``SpanRecorder.totals()`` mapping, exposed as
+        ``<prefix>_span_seconds_total{path="..."}`` and
+        ``<prefix>_span_count_total{path="..."}``.
+    prefix:
+        Metric-name prefix (empty string for none).
+    """
+    if metrics is None:
+        metrics = get_registry()
+    snapshot = metrics.snapshot() if isinstance(metrics, MetricsRegistry) else metrics
+
+    lines = []
+    for name in sorted(snapshot):
+        data = snapshot[name]
+        kind = data.get("type")
+        base = metric_name(name, prefix)
+        if kind == "counter":
+            lines.append(f"# TYPE {base}_total counter")
+            lines.append(f"{base}_total {_fmt(data.get('value', 0.0))}")
+        elif kind == "gauge":
+            value = data.get("value")
+            if value is None:
+                continue  # never set: nothing meaningful to expose
+            lines.append(f"# TYPE {base} gauge")
+            lines.append(f"{base} {_fmt(value)}")
+        elif kind == "histogram":
+            lines.append(f"# TYPE {base} summary")
+            count = data.get("count", 0)
+            if count:
+                for quantile, key in _QUANTILES:
+                    if key in data:
+                        lines.append(
+                            f'{base}{{quantile="{quantile}"}} {_fmt(data[key])}'
+                        )
+            lines.append(f"{base}_sum {_fmt(data.get('total', 0.0))}")
+            lines.append(f"{base}_count {_fmt(count)}")
+
+    if span_totals:
+        sec = metric_name("span.seconds", prefix)
+        cnt = metric_name("span.count", prefix)
+        lines.append(f"# TYPE {sec}_total counter")
+        for path in sorted(span_totals):
+            lines.append(
+                f'{sec}_total{{path="{_escape_label(path)}"}} '
+                f"{_fmt(span_totals[path]['seconds'])}"
+            )
+        lines.append(f"# TYPE {cnt}_total counter")
+        for path in sorted(span_totals):
+            lines.append(
+                f'{cnt}_total{{path="{_escape_label(path)}"}} '
+                f"{_fmt(span_totals[path]['count'])}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")

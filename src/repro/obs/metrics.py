@@ -23,6 +23,7 @@ Design constraints (see DESIGN.md §9):
 from __future__ import annotations
 
 import threading
+import zlib
 from typing import Dict, List, Optional, Union
 
 import numpy as np
@@ -101,53 +102,102 @@ class Gauge:
 class Histogram:
     """A distribution of observed values (timings, norms, sizes).
 
-    Observations are kept in full — reproduction-scale runs emit at most
-    a few thousand per instrument — so quantiles are exact.
+    Memory is bounded: up to ``reservoir_size`` observations (default
+    8192) are stored, so quantiles are *exact* below the cap.  Beyond
+    the cap, new observations replace stored ones via Vitter's
+    Algorithm R (each of the ``n`` observations seen so far has equal
+    probability of being in the reservoir), making quantiles an unbiased
+    *approximation* — while ``count``/``total``/``min``/``max`` (and
+    hence ``mean``) stay exact at any volume.  Long serve runs can
+    therefore observe per-request latencies indefinitely without the
+    instrument growing without limit.
     """
 
-    __slots__ = ("name", "_values")
+    __slots__ = ("name", "_values", "_count", "_total", "_min", "_max", "_cap", "_rng")
 
-    def __init__(self, name: str):
+    #: Default stored-observation cap (exact quantiles below this).
+    RESERVOIR_SIZE = 8192
+
+    def __init__(self, name: str, reservoir_size: Optional[int] = None):
         self.name = name
+        self._cap = reservoir_size if reservoir_size is not None else self.RESERVOIR_SIZE
+        if self._cap < 1:
+            raise ValueError("reservoir_size must be >= 1")
         self._values: List[float] = []
+        self._count = 0
+        self._total = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+        # Deterministic per-instrument stream: replacement decisions are
+        # reproducible for a fixed observation sequence.
+        self._rng = np.random.default_rng(zlib.crc32(name.encode("utf-8")))
 
     @property
     def count(self) -> int:
-        """Number of observations recorded."""
-        return len(self._values)
+        """Exact number of observations recorded (may exceed the reservoir)."""
+        return self._count
 
     @property
     def total(self) -> float:
-        """Sum of all observations."""
-        return float(sum(self._values))
+        """Exact sum of all observations."""
+        return self._total
+
+    @property
+    def reservoir_len(self) -> int:
+        """How many observations are currently stored (<= the cap)."""
+        return len(self._values)
 
     def observe(self, value: Union[int, float]) -> None:
-        """Record one observation."""
+        """Record one observation (bounded memory, see class docstring)."""
+        value = float(value)
         with _UPDATE_LOCK:
-            self._values.append(float(value))
+            self._count += 1
+            self._total += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+            if len(self._values) < self._cap:
+                self._values.append(value)
+            else:
+                # Algorithm R: keep each of the count observations with
+                # equal probability cap/count.
+                slot = int(self._rng.integers(0, self._count))
+                if slot < self._cap:
+                    self._values[slot] = value
 
     def percentile(self, q: float) -> float:
-        """Exact ``q``-th percentile (0..100) of the observations."""
+        """``q``-th percentile (0..100): exact below the reservoir cap,
+        an unbiased estimate from the reservoir sample above it."""
         if not self._values:
             raise ValueError(f"histogram {self.name!r} has no observations")
         return float(np.percentile(self._values, q))
 
     def reset(self) -> None:
-        """Drop all observations."""
+        """Drop all observations and exact totals (RNG stream continues)."""
         self._values.clear()
+        self._count = 0
+        self._total = 0.0
+        self._min = None
+        self._max = None
 
     def to_dict(self) -> Dict[str, Union[str, float, int]]:
-        """Serialisable summary: count/total/min/mean/max and p50/p90/p99."""
-        if not self._values:
+        """Serialisable summary: count/total/min/mean/max and p50/p90/p99.
+
+        ``count``/``total``/``min``/``mean``/``max`` are exact; the
+        percentiles are reservoir estimates once ``count`` exceeds the
+        cap (exact below it).
+        """
+        if not self._count:
             return {"type": "histogram", "count": 0}
         arr = np.asarray(self._values)
         return {
             "type": "histogram",
-            "count": int(arr.size),
-            "total": float(arr.sum()),
-            "min": float(arr.min()),
-            "mean": float(arr.mean()),
-            "max": float(arr.max()),
+            "count": int(self._count),
+            "total": float(self._total),
+            "min": float(self._min),
+            "mean": float(self._total / self._count),
+            "max": float(self._max),
             "p50": float(np.percentile(arr, 50)),
             "p90": float(np.percentile(arr, 90)),
             "p99": float(np.percentile(arr, 99)),

@@ -184,11 +184,90 @@ def format_run(record: RunRecord) -> str:
             lines.append(f"  {key}: {_num(value)}")
     if record.final.get("final_loss") is not None:
         lines.append(f"final loss: {_num(record.final['final_loss'])}")
+    totals = _aggregate_spans(record.epochs)
+    if totals:
+        lines.append("")
+        lines.append("run span totals (all epochs):")
+        lines.append(format_spans(totals))
+    if record.final.get("metrics"):
+        metric_lines = _format_metrics(record.final["metrics"])
+        if metric_lines:
+            lines.append("")
+            lines.append("metrics:")
+            lines.extend(metric_lines)
     if record.final.get("op_profile"):
         lines.append("")
         lines.append("op profile:")
         lines.append(format_op_table(record.final["op_profile"]))
     return "\n".join(lines)
+
+
+def _aggregate_spans(epochs: List[dict]) -> Dict[str, Dict[str, float]]:
+    """Sum per-epoch span breakdowns into whole-run totals."""
+    totals: Dict[str, Dict[str, float]] = {}
+    for epoch in epochs:
+        for path, stat in (epoch.get("spans") or {}).items():
+            agg = totals.setdefault(path, {"seconds": 0.0, "count": 0})
+            agg["seconds"] += stat.get("seconds", 0.0)
+            agg["count"] += stat.get("count", 0)
+    return totals
+
+
+def _format_metrics(metrics: Dict[str, dict]) -> List[str]:
+    """Render a registry snapshot: serve-side derived rates first, then all.
+
+    Serve-specific derivations (cache hit rate, degraded/dropped counts,
+    batch-size distribution) are surfaced explicitly because they are
+    the numbers the serving SLOs are stated over; every other instrument
+    renders generically by kind.
+    """
+    lines: List[str] = []
+
+    def value_of(name: str) -> Optional[float]:
+        data = metrics.get(name)
+        return data.get("value") if isinstance(data, dict) else None
+
+    hits = value_of("serve.cache.hits")
+    misses = value_of("serve.cache.misses")
+    if hits is not None or misses is not None:
+        hits = hits or 0.0
+        misses = misses or 0.0
+        total = hits + misses
+        rate = hits / total if total else 0.0
+        lines.append(
+            f"  serve cache: {int(hits)} hit(s) / {int(total)} lookup(s) "
+            f"(hit rate {rate:.1%})"
+        )
+    degraded = value_of("serve.query.degraded")
+    requests = value_of("serve.query.requests")
+    if requests is not None:
+        lines.append(
+            f"  serve queries: {int(requests)} request(s), "
+            f"{int(degraded or 0)} degraded, "
+            f"{int(value_of('serve.query.deadline_missed') or 0)} deadline miss(es)"
+        )
+    batch = metrics.get("serve.batch.size")
+    if isinstance(batch, dict) and batch.get("count"):
+        lines.append(
+            f"  serve batches: {int(batch['count'])} flush(es), size "
+            f"mean {batch.get('mean', 0.0):.1f} "
+            f"p50 {batch.get('p50', 0.0):.0f} max {batch.get('max', 0.0):.0f}"
+        )
+    for name in sorted(metrics):
+        data = metrics[name]
+        if not isinstance(data, dict):
+            continue
+        kind = data.get("type")
+        if kind == "counter":
+            lines.append(f"  {name} = {_num(data.get('value'), 'g')}")
+        elif kind == "gauge" and data.get("value") is not None:
+            lines.append(f"  {name} = {_num(data.get('value'), 'g')}")
+        elif kind == "histogram" and data.get("count"):
+            lines.append(
+                f"  {name}: n={int(data['count'])} mean={data.get('mean', 0.0):.6g} "
+                f"p50={data.get('p50', 0.0):.6g} p99={data.get('p99', 0.0):.6g}"
+            )
+    return lines
 
 
 def _num(value, spec: str = ".6f") -> str:

@@ -1,0 +1,206 @@
+"""Declarative SLOs evaluated over the recent-trace ring.
+
+The serving layer makes promises — bounded latency, bounded degradation,
+no drops — that ``BENCH_serve.json`` measures but nothing enforced.  An
+:class:`SLO` states one promise declaratively; :func:`check_slos`
+evaluates a set of them over the finished traces in a
+:class:`~repro.obs.trace.Tracer` ring (each serve request leaves one
+``serve.topk`` trace carrying its wall time and degradation attributes)
+and returns one :class:`SLOStatus` per spec.  ``strict=True`` turns a
+breach into an :class:`SLOViolation` — which is how
+:func:`repro.serve.bench.run_serve_bench` asserts the serving layer
+still honours its contract on every bench run.
+
+Spec kinds:
+
+- ``"latency"`` — the ``percentile``-th percentile of trace wall time
+  must not exceed ``threshold`` seconds;
+- ``"degraded_rate"`` — the fraction of traces with a truthy
+  ``degraded`` attribute must not exceed ``threshold``;
+- ``"drop_rate"`` — dropped/requests (from explicit ``totals``, since a
+  dropped request by definition leaves no complete trace) must not
+  exceed ``threshold``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .trace import Trace, Tracer, get_tracer
+
+__all__ = [
+    "DEADLINE_SERVE_SLOS",
+    "DEFAULT_SERVE_SLOS",
+    "SLO",
+    "SLOStatus",
+    "SLOViolation",
+    "check_slos",
+    "evaluate_slos",
+    "format_slos",
+]
+
+_KINDS = ("latency", "degraded_rate", "drop_rate")
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One declarative service-level objective.
+
+    Attributes
+    ----------
+    name:
+        Stable identifier shown in reports.
+    kind:
+        One of ``latency``, ``degraded_rate``, ``drop_rate``.
+    threshold:
+        Upper bound: seconds for latency, a 0..1 ratio for the rates.
+    percentile:
+        Which latency percentile the bound applies to (latency only).
+    trace_name:
+        Which traces the SLO is computed over.
+    """
+
+    name: str
+    kind: str
+    threshold: float
+    percentile: float = 99.0
+    trace_name: str = "serve.topk"
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown SLO kind {self.kind!r} (want one of {_KINDS})")
+        if self.threshold < 0:
+            raise ValueError("SLO threshold must be >= 0")
+
+
+@dataclass
+class SLOStatus:
+    """Evaluation outcome of one :class:`SLO` over a trace window."""
+
+    slo: SLO
+    value: Optional[float]  #: measured value (None: no data to evaluate)
+    samples: int  #: traces (or requests) the value was computed over
+    ok: bool
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary of this status."""
+        return {
+            "name": self.slo.name,
+            "kind": self.slo.kind,
+            "threshold": self.slo.threshold,
+            "value": self.value,
+            "samples": self.samples,
+            "ok": self.ok,
+        }
+
+
+class SLOViolation(AssertionError):
+    """Raised by :func:`check_slos(strict=True)` when any SLO is breached."""
+
+
+#: Serving SLOs for normal (no-deadline) traffic: generous enough to hold
+#: on a loaded CI machine, tight enough to catch a real serving regression.
+DEFAULT_SERVE_SLOS = (
+    SLO(name="p99-latency", kind="latency", threshold=1.0, percentile=99.0),
+    SLO(name="degraded-rate", kind="degraded_rate", threshold=0.25),
+    SLO(name="drop-rate", kind="drop_rate", threshold=0.0),
+)
+
+#: Serving SLOs for deadline-bearing traffic, where degradation is the
+#: designed behaviour: only drops and pathological latency are breaches.
+DEADLINE_SERVE_SLOS = (
+    SLO(name="p99-latency", kind="latency", threshold=2.0, percentile=99.0),
+    SLO(name="drop-rate", kind="drop_rate", threshold=0.0),
+)
+
+
+def evaluate_slos(
+    slos: Sequence[SLO],
+    traces: Sequence[Trace],
+    totals: Optional[Dict[str, float]] = None,
+) -> List[SLOStatus]:
+    """Evaluate each spec over ``traces`` (+ optional request ``totals``).
+
+    ``totals`` supplies ``{"requests": n, "dropped": m}`` for drop-rate
+    SLOs; rate SLOs with no data evaluate as ok with ``value=None``.
+    """
+    statuses: List[SLOStatus] = []
+    by_name: Dict[str, List[Trace]] = {}
+    for trace in traces:
+        by_name.setdefault(trace.name, []).append(trace)
+    for slo in slos:
+        window = by_name.get(slo.trace_name, [])
+        if slo.kind == "latency":
+            durations = [t.duration for t in window]
+            if not durations:
+                statuses.append(SLOStatus(slo, None, 0, True))
+                continue
+            value = float(np.percentile(durations, slo.percentile))
+            statuses.append(SLOStatus(slo, value, len(durations), value <= slo.threshold))
+        elif slo.kind == "degraded_rate":
+            if not window:
+                statuses.append(SLOStatus(slo, None, 0, True))
+                continue
+            degraded = sum(1 for t in window if t.attrs.get("degraded"))
+            value = degraded / len(window)
+            statuses.append(SLOStatus(slo, value, len(window), value <= slo.threshold))
+        else:  # drop_rate
+            requests = float((totals or {}).get("requests", 0))
+            dropped = float((totals or {}).get("dropped", 0))
+            if requests <= 0:
+                statuses.append(SLOStatus(slo, None, 0, True))
+                continue
+            value = dropped / requests
+            statuses.append(
+                SLOStatus(slo, value, int(requests), value <= slo.threshold)
+            )
+    return statuses
+
+
+def check_slos(
+    slos: Sequence[SLO] = DEFAULT_SERVE_SLOS,
+    tracer: Optional[Tracer] = None,
+    window: Optional[int] = None,
+    totals: Optional[Dict[str, float]] = None,
+    strict: bool = False,
+) -> List[SLOStatus]:
+    """Evaluate ``slos`` over the tracer's recent-trace ring.
+
+    ``window`` bounds how many recent traces (per trace name) are
+    considered.  With ``strict=True`` a breached SLO raises
+    :class:`SLOViolation` naming every failure.
+    """
+    tracer = tracer if tracer is not None else get_tracer()
+    names = {slo.trace_name for slo in slos}
+    traces: List[Trace] = []
+    for name in sorted(names):
+        traces.extend(tracer.recent(n=window, name=name))
+    statuses = evaluate_slos(slos, traces, totals=totals)
+    if strict:
+        failures = [s for s in statuses if not s.ok]
+        if failures:
+            detail = "; ".join(
+                f"{s.slo.name}: {s.value:.6g} > {s.slo.threshold:.6g} "
+                f"(over {s.samples} sample(s))"
+                for s in failures
+            )
+            raise SLOViolation(f"SLO breach: {detail}")
+    return statuses
+
+
+def format_slos(statuses: Sequence[SLOStatus]) -> str:
+    """Human-readable one-line-per-SLO report (serve-bench output)."""
+    if not statuses:
+        return "(no SLOs evaluated)"
+    lines = []
+    for s in statuses:
+        flag = "ok  " if s.ok else "FAIL"
+        value = "-" if s.value is None else f"{s.value:.6g}"
+        lines.append(
+            f"  slo {flag} {s.slo.name:<16s} value {value:>10s}  "
+            f"limit {s.slo.threshold:.6g}  ({s.samples} sample(s))"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,569 @@
+"""Request-scoped tracing: the causal story of one query or one epoch.
+
+:mod:`repro.obs.spans` answers "where does the *aggregate* time go";
+this module answers "where did *this request's* time go".  A
+:class:`Trace` carries a process-unique id and an ordered list of span
+events — name, wall-clock start/end, ``key=value`` attributes, recording
+thread — forming a parent/child tree rooted at the trace itself.  The
+serving path opens one trace per ``topk`` request, the trainer one per
+epoch.
+
+Cross-thread handoff is explicit: when work hops threads (a serve
+request enters the :class:`~repro.serve.batcher.MicroBatcher` queue and
+is finished by the flush thread), the submitting side captures a
+:class:`Handoff` token via :meth:`Trace.handoff`.  The consuming thread
+either stamps spans directly onto the token (:meth:`Handoff.record` —
+used for the shared batched forward) or re-binds the trace as *current*
+for a block (:meth:`Handoff.resume`), so queue-wait and forward time are
+attributed to the request that paid for them, not to the flush thread.
+
+Finished traces land in a bounded in-memory ring (newest evicts oldest)
+and, when configured, are mirrored to a JSONL trace log, one trace per
+line.  ``repro-tmn trace`` renders the slowest recent traces as a
+critical-path tree (see :func:`format_trace`).
+
+Thread-safety: the *current trace/span* binding is thread-local; event
+recording appends under a per-trace lock; the ring is guarded by the
+tracer lock.  Recording after a trace has finished (a flush thread
+completing work for a request that already timed out and returned
+degraded) is dropped and counted, never raises.
+
+Determinism: every timestamp comes from the tracer's injectable clock
+(default ``time.perf_counter``), and trace/span ids are sequential
+integers, so tests with a fake clock get byte-identical render output.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+__all__ = [
+    "Handoff",
+    "Trace",
+    "TraceSpan",
+    "Tracer",
+    "annotate",
+    "current_trace",
+    "format_trace",
+    "get_tracer",
+    "read_trace_log",
+    "trace_span",
+]
+
+#: Root span id: the trace itself acts as the parent of top-level spans.
+ROOT = 0
+
+
+class TraceSpan:
+    """One *open* span: context manager handed out by :meth:`Trace.span`.
+
+    Attributes may be attached while the span is open via :meth:`set`;
+    the finished event is recorded on ``__exit__``.
+    """
+
+    __slots__ = ("_trace", "_tracer", "span_id", "parent_id", "name", "attrs", "_start")
+
+    def __init__(self, trace: "Trace", tracer: "Tracer", name: str, attrs: dict):
+        self._trace = trace
+        self._tracer = tracer
+        self.name = name
+        self.attrs = dict(attrs)
+        self.span_id: Optional[int] = None
+        self.parent_id: int = ROOT
+        self._start: float = 0.0
+
+    def set(self, **attrs) -> "TraceSpan":
+        """Attach ``key=value`` attributes to this span; returns self."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "TraceSpan":
+        self.span_id = self._trace._next_span_id()
+        stack = self._tracer._stack()
+        self.parent_id = stack[-1].span_id if stack and stack[-1]._trace is self._trace else ROOT
+        self._start = self._tracer._clock()
+        stack.append(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        end = self._tracer._clock()
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        stack = self._tracer._stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        self._trace._record(
+            self.span_id, self.parent_id, self.name, self._start, end, self.attrs
+        )
+
+
+class Handoff:
+    """A cross-thread continuation token for one trace.
+
+    Captured on the submitting thread (``trace.handoff()``); the thread
+    that eventually performs the work uses it to attribute time back to
+    the originating request.
+    """
+
+    __slots__ = ("trace", "parent_id", "created_at", "_tracer")
+
+    def __init__(self, trace: "Trace", parent_id: int, created_at: float, tracer: "Tracer"):
+        self.trace = trace
+        self.parent_id = parent_id
+        self.created_at = created_at
+        self._tracer = tracer
+
+    def record(self, name: str, start: float, end: float, **attrs) -> None:
+        """Stamp one finished span (explicit timestamps) under the handoff point.
+
+        Used when the consuming thread did shared work (a batched
+        forward) whose interval applies to several traces at once.
+        """
+        self.trace._record(self.trace._next_span_id(), self.parent_id, name, start, end, attrs)
+
+    def record_wait(self, name: str = "queue-wait", end: Optional[float] = None, **attrs) -> None:
+        """Stamp the span from handoff creation until ``end`` (default: now).
+
+        This is the queue-wait attribution: the interval between the
+        producer enqueuing the work and the consumer starting on it.
+        """
+        if end is None:
+            end = self._tracer._clock()
+        self.record(name, self.created_at, end, **attrs)
+
+    def resume(self, wait_name: Optional[str] = "queue-wait") -> "_Resumed":
+        """Context manager: bind the trace current on *this* thread.
+
+        On entry records the wait span (``wait_name``, creation → now;
+        pass ``None`` to skip) and pushes the handoff point as the
+        current span, so nested ``span()`` calls land under it.
+        """
+        return _Resumed(self, wait_name)
+
+
+class _Resumed:
+    """Context manager returned by :meth:`Handoff.resume`."""
+
+    __slots__ = ("_handoff", "_wait_name", "_anchor")
+
+    def __init__(self, handoff: Handoff, wait_name: Optional[str]):
+        self._handoff = handoff
+        self._wait_name = wait_name
+
+    def __enter__(self) -> "Trace":
+        handoff = self._handoff
+        if self._wait_name is not None:
+            handoff.record_wait(self._wait_name)
+        # Push an anchor entry so nested spans parent to the handoff point.
+        anchor = TraceSpan(handoff.trace, handoff._tracer, "<resumed>", {})
+        anchor.span_id = handoff.parent_id
+        self._anchor = anchor
+        handoff._tracer._stack().append(anchor)
+        return handoff.trace
+
+    def __exit__(self, *exc) -> None:
+        stack = self._handoff._tracer._stack()
+        if stack and stack[-1] is self._anchor:
+            stack.pop()
+
+
+class Trace:
+    """One request's (or epoch's) causal record: id, attrs, span events.
+
+    Span events are plain dicts ``{"id", "parent", "name", "start",
+    "end", "thread", "attrs"}``; the event list is bounded by
+    ``max_events`` (excess increments :attr:`dropped_events`).
+    """
+
+    def __init__(
+        self,
+        trace_id: str,
+        name: str,
+        tracer: "Tracer",
+        start: float,
+        attrs: Optional[dict] = None,
+        max_events: int = 4096,
+    ):
+        self.trace_id = trace_id
+        self.name = name
+        self.start = start
+        self.end: Optional[float] = None
+        self.attrs: Dict[str, object] = dict(attrs or {})
+        self.events: List[dict] = []
+        self.dropped_events = 0
+        self.max_events = max_events
+        self._tracer = tracer
+        self._lock = threading.Lock()
+        self._span_counter = ROOT
+
+    # -- recording ------------------------------------------------------
+    def _next_span_id(self) -> int:
+        with self._lock:
+            self._span_counter += 1
+            return self._span_counter
+
+    def _record(
+        self, span_id: int, parent_id: int, name: str, start: float, end: float, attrs: dict
+    ) -> None:
+        event = {
+            "id": span_id,
+            "parent": parent_id,
+            "name": name,
+            "start": start,
+            "end": end,
+            "thread": threading.current_thread().name,
+            "attrs": dict(attrs),
+        }
+        with self._lock:
+            if self.end is not None or len(self.events) >= self.max_events:
+                # Late (trace already finished) or over budget: drop, count.
+                self.dropped_events += 1
+                return
+            self.events.append(event)
+
+    def span(self, name: str, **attrs) -> TraceSpan:
+        """A child span context manager nested under the current span."""
+        return TraceSpan(self, self._tracer, name, attrs)
+
+    def handoff(self) -> Handoff:
+        """Capture a cross-thread continuation token at the current span."""
+        stack = self._tracer._stack()
+        parent = stack[-1].span_id if stack and stack[-1]._trace is self else ROOT
+        return Handoff(self, parent, self._tracer._clock(), self._tracer)
+
+    def set(self, **attrs) -> "Trace":
+        """Attach ``key=value`` attributes to the trace root; returns self."""
+        self.attrs.update(attrs)
+        return self
+
+    # -- reading --------------------------------------------------------
+    @property
+    def duration(self) -> float:
+        """Trace wall time in seconds (0.0 while still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def children(self, parent_id: int = ROOT) -> List[dict]:
+        """Finished child events of ``parent_id``, ordered by start time."""
+        with self._lock:
+            kids = [e for e in self.events if e["parent"] == parent_id]
+        return sorted(kids, key=lambda e: (e["start"], e["id"]))
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (what the JSONL trace log stores per line)."""
+        with self._lock:
+            events = [dict(e) for e in self.events]
+        return {
+            "trace_id": self.trace_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "attrs": dict(self.attrs),
+            "dropped_events": self.dropped_events,
+            "events": events,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Trace":
+        """Rebuild a finished trace (e.g. read back from a trace log)."""
+        trace = cls(
+            trace_id=str(data.get("trace_id", "t?")),
+            name=str(data.get("name", "?")),
+            tracer=get_tracer(),
+            start=float(data.get("start", 0.0)),
+            attrs=data.get("attrs") or {},
+        )
+        trace.end = data.get("end")
+        trace.events = [dict(e) for e in data.get("events", [])]
+        trace.dropped_events = int(data.get("dropped_events", 0))
+        if trace.events:
+            trace._span_counter = max(e["id"] for e in trace.events)
+        return trace
+
+
+class _TraceContext:
+    """Context manager opening one root trace on the current thread."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_trace", "_anchor")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict):
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+
+    def __enter__(self) -> Trace:
+        tracer = self._tracer
+        self._trace = tracer._new_trace(self._name, self._attrs)
+        anchor = TraceSpan(self._trace, tracer, "<root>", {})
+        anchor.span_id = ROOT
+        self._anchor = anchor
+        tracer._stack().append(anchor)
+        return self._trace
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        tracer = self._tracer
+        stack = tracer._stack()
+        # Pop back to (and including) our anchor even if inner spans leaked.
+        while stack:
+            top = stack.pop()
+            if top is self._anchor:
+                break
+        if exc_type is not None:
+            self._trace.attrs.setdefault("error", exc_type.__name__)
+        tracer._finish(self._trace)
+
+
+class _NullSpan:
+    """No-op stand-in returned by :func:`trace_span` with no active trace."""
+
+    __slots__ = ()
+
+    def set(self, **attrs) -> "_NullSpan":
+        """Ignore attributes (no trace is recording)."""
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Creates traces, tracks the per-thread current span, keeps the ring.
+
+    Parameters
+    ----------
+    ring_size:
+        How many finished traces the in-memory ring retains (newest wins).
+    clock:
+        Injectable time source; tests pass a fake for deterministic output.
+    log_path:
+        Optional JSONL trace log (one finished trace per line); also
+        settable later via :meth:`configure`.
+    """
+
+    def __init__(
+        self,
+        ring_size: int = 1024,
+        clock: Callable[[], float] = time.perf_counter,
+        log_path: Union[str, Path, None] = None,
+    ):
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._ring: List[Trace] = []
+        self._ring_size = ring_size
+        self._counter = 0
+        self._log_file = None
+        if log_path is not None:
+            self.configure(log_path=log_path)
+
+    # -- configuration --------------------------------------------------
+    def configure(
+        self, log_path: Union[str, Path, None] = None, ring_size: Optional[int] = None
+    ) -> None:
+        """Re-point the JSONL trace log (None closes it) / resize the ring."""
+        with self._lock:
+            if self._log_file is not None:
+                self._log_file.close()
+                self._log_file = None
+            if log_path is not None:
+                path = Path(log_path)
+                path.parent.mkdir(parents=True, exist_ok=True)
+                self._log_file = open(path, "w")
+            if ring_size is not None:
+                self._ring_size = ring_size
+                del self._ring[: max(0, len(self._ring) - ring_size)]
+
+    # -- internals ------------------------------------------------------
+    def _stack(self) -> List[TraceSpan]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _new_trace(self, name: str, attrs: dict) -> Trace:
+        with self._lock:
+            self._counter += 1
+            trace_id = f"t{self._counter:06d}"
+        return Trace(trace_id, name, self, self._clock(), attrs)
+
+    def _finish(self, trace: Trace) -> None:
+        end = self._clock()
+        with trace._lock:
+            trace.end = end
+        with self._lock:
+            self._ring.append(trace)
+            if len(self._ring) > self._ring_size:
+                del self._ring[: len(self._ring) - self._ring_size]
+            if self._log_file is not None:
+                self._log_file.write(json.dumps(trace.to_dict()) + "\n")
+                self._log_file.flush()
+
+    # -- public API -----------------------------------------------------
+    def trace(self, name: str, **attrs) -> _TraceContext:
+        """Open a new root trace bound to the calling thread for the block."""
+        return _TraceContext(self, name, attrs)
+
+    def current(self) -> Optional[Trace]:
+        """The trace bound to the calling thread, or None."""
+        stack = self._stack()
+        return stack[-1]._trace if stack else None
+
+    def span(self, name: str, **attrs):
+        """Child span of the current trace, or a no-op when none is active."""
+        trace = self.current()
+        if trace is None:
+            return _NULL_SPAN
+        return trace.span(name, **attrs)
+
+    def annotate(self, **attrs) -> None:
+        """Attach attributes to the innermost open span (or the trace root).
+
+        A no-op when no trace is active, so library code can annotate
+        unconditionally.
+        """
+        stack = self._stack()
+        if not stack:
+            return
+        top = stack[-1]
+        if top.span_id == ROOT or top.name in ("<root>", "<resumed>"):
+            top._trace.set(**attrs)
+        else:
+            top.set(**attrs)
+
+    def recent(self, n: Optional[int] = None, name: Optional[str] = None) -> List[Trace]:
+        """The most recent finished traces, oldest→newest, newest last.
+
+        ``name`` filters by trace name; ``n`` keeps only the last n after
+        filtering.
+        """
+        with self._lock:
+            traces = list(self._ring)
+        if name is not None:
+            traces = [t for t in traces if t.name == name]
+        if n is not None:
+            traces = traces[-n:]
+        return traces
+
+    def reset(self) -> None:
+        """Drop the ring and restart trace-id numbering (tests)."""
+        with self._lock:
+            self._ring.clear()
+            self._counter = 0
+
+
+#: Process-wide default tracer used by the instrumented subsystems.
+_DEFAULT = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide default :class:`Tracer`."""
+    return _DEFAULT
+
+
+def current_trace() -> Optional[Trace]:
+    """The calling thread's active trace on the default tracer, or None."""
+    return _DEFAULT.current()
+
+
+def trace_span(name: str, **attrs):
+    """Child span of the current default-tracer trace (no-op without one)."""
+    return _DEFAULT.span(name, **attrs)
+
+
+def annotate(**attrs) -> None:
+    """Attach attributes to the innermost open span on the default tracer."""
+    _DEFAULT.annotate(**attrs)
+
+
+def read_trace_log(path: Union[str, Path]) -> List[Trace]:
+    """Parse a JSONL trace log back into finished :class:`Trace` objects."""
+    traces: List[Trace] = []
+    for lineno, line in enumerate(Path(path).read_text().splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            traces.append(Trace.from_dict(json.loads(line)))
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"{path}:{lineno}: bad trace line: {exc}") from None
+    return traces
+
+
+# ----------------------------------------------------------------------
+# Rendering: critical-path trees for `repro-tmn trace`.
+
+
+def _fmt_attrs(attrs: dict) -> str:
+    if not attrs:
+        return ""
+    parts = []
+    for key in sorted(attrs):
+        value = attrs[key]
+        if isinstance(value, float):
+            value = f"{value:.6g}"
+        parts.append(f"{key}={value}")
+    return "  [" + " ".join(parts) + "]"
+
+
+def _critical_child(children: Sequence[dict]) -> Optional[int]:
+    """Index of the longest child span (the critical hop), or None."""
+    if not children:
+        return None
+    durations = [e["end"] - e["start"] for e in children]
+    return max(range(len(children)), key=lambda i: durations[i])
+
+
+def format_trace(trace: Trace, deadline_s: Optional[float] = None) -> str:
+    """Render one trace as an indented tree with a ``*``-marked critical path.
+
+    Each line shows the span's duration, its share of the trace wall
+    time, and — when the trace carries a ``deadline_s`` attribute (or
+    one is passed explicitly) — its share of the deadline budget.  The
+    critical path (longest child at each level, i.e. who the parent
+    spent most of its time waiting on) is marked with ``*``.
+    """
+    total = trace.duration
+    if deadline_s is None:
+        raw = trace.attrs.get("deadline_s")
+        deadline_s = float(raw) if isinstance(raw, (int, float)) else None
+    header = (
+        f"trace {trace.trace_id} {trace.name}  {total * 1e3:.2f}ms"
+        f"{_fmt_attrs(trace.attrs)}"
+    )
+    lines = [header]
+    if trace.dropped_events:
+        lines.append(f"  ({trace.dropped_events} event(s) dropped: over budget or late)")
+
+    def emit(parent_id: int, depth: int, on_critical: bool) -> None:
+        children = trace.children(parent_id)
+        critical = _critical_child(children)
+        for i, event in enumerate(children):
+            seconds = event["end"] - event["start"]
+            share = seconds / total if total > 1e-12 else 0.0
+            mark = "*" if (on_critical and i == critical) else " "
+            budget = (
+                f"  {seconds / deadline_s * 100:5.1f}% of deadline"
+                if deadline_s
+                else ""
+            )
+            lines.append(
+                f"{mark} {'  ' * depth}{event['name']:<{24 - 2 * depth}s}"
+                f"{seconds * 1e3:9.2f}ms {share * 100:5.1f}%"
+                f"{budget}{_fmt_attrs(event['attrs'])}"
+            )
+            emit(event["id"], depth + 1, on_critical and i == critical)
+
+    emit(ROOT, 1, True)
+    if len(lines) == 1:
+        lines.append("  (no spans recorded)")
+    return "\n".join(lines)

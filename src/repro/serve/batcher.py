@@ -19,6 +19,15 @@ other in-flight request stay serviceable; ``serve.batch.errors`` /
 Instrumentation (always on, registry-level): ``serve.queue.depth``
 gauge sampled at each flush, ``serve.batch.size`` histogram,
 ``serve.batch.seconds`` histogram, and request/flush counters.
+
+Request tracing: when the submitting thread has an active trace
+(:mod:`repro.obs.trace`), :meth:`MicroBatcher.submit` captures a
+cross-thread :class:`~repro.obs.trace.Handoff` token.  The flush thread
+stamps two spans back onto each request's own trace — ``queue-wait``
+(enqueue → flush start) and ``forward`` (the batched encode interval,
+annotated with the batch size it shared) — so a request's trace shows
+exactly how its wall time split between waiting and computing, even
+though the computation happened on another thread.
 """
 
 from __future__ import annotations
@@ -32,19 +41,27 @@ from typing import Callable, List, Optional, Sequence
 import numpy as np
 
 from ..obs.metrics import get_registry
+from ..obs.trace import current_trace
 
 __all__ = ["MicroBatcher"]
 
 
 class _Request:
-    """One enqueued encode request: the trajectory plus its result future."""
+    """One enqueued encode request: the trajectory plus its result future.
 
-    __slots__ = ("traj", "future", "enqueued_at")
+    ``handoff`` carries the submitting thread's trace continuation (or
+    None when the caller was not tracing) so the flush thread can
+    attribute queue-wait and forward time back to the right trace.
+    """
+
+    __slots__ = ("traj", "future", "enqueued_at", "handoff")
 
     def __init__(self, traj):
         self.traj = traj
         self.future: Future = Future()
         self.enqueued_at = time.perf_counter()
+        trace = current_trace()
+        self.handoff = trace.handoff() if trace is not None else None
 
 
 class MicroBatcher:
@@ -164,6 +181,14 @@ class MicroBatcher:
         registry.gauge(f"{self._name}.queue.depth").set(self._queue.qsize())
         registry.histogram(f"{self._name}.batch.size").observe(len(batch))
         start = time.perf_counter()
+        for request in batch:
+            if request.handoff is not None:
+                # Queue-wait is the enqueue → flush-start interval, stamped
+                # onto the request's own trace (not the flush thread's).
+                request.handoff.record(
+                    "queue-wait", request.enqueued_at, start,
+                    batch_size=len(batch),
+                )
         try:
             embeddings = np.asarray(self._encode_fn([r.traj for r in batch]))
             if embeddings.ndim != 2 or embeddings.shape[0] != len(batch):
@@ -172,15 +197,26 @@ class MicroBatcher:
                     f"for a batch of {len(batch)}"
                 )
         except BaseException as exc:  # fault isolation boundary
+            end = time.perf_counter()
+            for request in batch:
+                if request.handoff is not None:
+                    request.handoff.record(
+                        "forward", start, end,
+                        batch_size=len(batch), error=type(exc).__name__,
+                    )
             registry.counter(f"{self._name}.batch.errors").inc()
             registry.counter(f"{self._name}.batch.failed_requests").inc(len(batch))
             for request in batch:
                 if not request.future.done():
                     request.future.set_exception(exc)
             return
-        registry.histogram(f"{self._name}.batch.seconds").observe(
-            time.perf_counter() - start
-        )
+        end = time.perf_counter()
+        for request in batch:
+            if request.handoff is not None:
+                # The forward interval is shared by the whole batch: each
+                # trace records it with the batch size that amortised it.
+                request.handoff.record("forward", start, end, batch_size=len(batch))
+        registry.histogram(f"{self._name}.batch.seconds").observe(end - start)
         registry.counter(f"{self._name}.batches").inc()
         for request, embedding in zip(batch, embeddings):
             if not request.future.done():

@@ -20,14 +20,23 @@ from __future__ import annotations
 import sys
 import threading
 import time
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..core import TMN, TMNConfig
 from ..data import make_dataset, prepare
 from ..obs.metrics import get_registry
+from ..obs.slo import (
+    DEADLINE_SERVE_SLOS,
+    DEFAULT_SERVE_SLOS,
+    SLO,
+    SLOStatus,
+    check_slos,
+    format_slos,
+)
+from ..obs.trace import get_tracer
 from .engine import ServeResult, SimilarityServer
 
 __all__ = ["ServeBenchResult", "run_serve_bench", "format_serve_bench"]
@@ -51,6 +60,13 @@ class ServeBenchResult:
     latency_p50: float
     latency_p99: float
     batch_size_mean: float
+    #: One status per evaluated SLO (latency / degraded-rate / drop-rate).
+    slo_statuses: List[SLOStatus] = field(default_factory=list)
+
+    @property
+    def slo_ok(self) -> bool:
+        """Whether every evaluated SLO held over this run's traces."""
+        return all(s.ok for s in self.slo_statuses)
 
     @property
     def served_qps(self) -> float:
@@ -84,6 +100,7 @@ class ServeBenchResult:
             "latency_p50": self.latency_p50,
             "latency_p99": self.latency_p99,
             "batch_size_mean": self.batch_size_mean,
+            "slo_failures": float(sum(1 for s in self.slo_statuses if not s.ok)),
         }
 
 
@@ -113,6 +130,9 @@ def run_serve_bench(
     naive_queries: Optional[int] = None,
     deadline_s: Optional[float] = None,
     traj_len: Optional[int] = None,
+    slos: Optional[Sequence[SLO]] = None,
+    enforce_slos: bool = True,
+    trace_log: Optional[str] = None,
 ) -> ServeBenchResult:
     """Run the serving benchmark and return its measurements.
 
@@ -125,6 +145,15 @@ def run_serve_bench(
     trajectory, ±20%).  Longer trajectories make each forward heavier,
     which isolates the batching effect from fixed per-request overhead —
     the regime the paper's Table III workload lives in.
+
+    After the served phase the run's SLOs are evaluated over the request
+    traces via :func:`repro.obs.slo.check_slos` (``slos`` defaults to
+    :data:`DEFAULT_SERVE_SLOS`, or :data:`DEADLINE_SERVE_SLOS` when a
+    per-request deadline makes degradation the designed behaviour); with
+    ``enforce_slos`` a breach raises
+    :class:`~repro.obs.slo.SLOViolation` — the bench *asserts* the
+    serving promises, it does not merely report them.  ``trace_log``
+    mirrors every request trace to a JSONL file for ``repro-tmn trace``.
     """
     rng = np.random.default_rng(seed)
     length_kwargs = {}
@@ -158,6 +187,9 @@ def run_serve_bench(
     batch_hist = registry.histogram("serve.batch.size")
     batches_before = batch_hist.count
     batch_total_before = batch_hist.total
+    tracer = get_tracer()
+    if trace_log is not None:
+        tracer.configure(log_path=trace_log)
 
     # Server tuning, applied to BOTH phases for fairness: a longer GIL
     # switch interval stops worker wake-ups from preempting the encoder
@@ -205,6 +237,17 @@ def run_serve_bench(
         batch_count = batch_hist.count - batches_before
         batch_requests = batch_hist.total - batch_total_before
         batch_mean = batch_requests / batch_count if batch_count else 0.0
+        # Assert the serving promises over this run's request traces
+        # (the last n_queries serve.topk traces in the ring are ours).
+        if slos is None:
+            slos = DEADLINE_SERVE_SLOS if deadline_s is not None else DEFAULT_SERVE_SLOS
+        slo_statuses = check_slos(
+            slos,
+            tracer=tracer,
+            window=n_queries,
+            totals={"requests": float(n_queries), "dropped": float(dropped)},
+            strict=enforce_slos,
+        )
         return ServeBenchResult(
             n_db=n_db,
             n_queries=n_queries,
@@ -222,10 +265,13 @@ def run_serve_bench(
             if latencies
             else 0.0,
             batch_size_mean=batch_mean,
+            slo_statuses=list(slo_statuses),
         )
     finally:
         sys.setswitchinterval(switch_before)
         server.close()
+        if trace_log is not None:
+            tracer.configure(log_path=None)  # flush + close the JSONL log
 
 
 def format_serve_bench(result: ServeBenchResult) -> str:
@@ -246,4 +292,6 @@ def format_serve_bench(result: ServeBenchResult) -> str:
         f"dropped {result.dropped}, degraded {result.degraded}, "
         f"cache hits {result.cache_hits}",
     ]
+    if result.slo_statuses:
+        lines.append(format_slos(result.slo_statuses))
     return "\n".join(lines)

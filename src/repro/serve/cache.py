@@ -29,6 +29,7 @@ from typing import Optional
 import numpy as np
 
 from ..obs.metrics import get_registry
+from ..obs.trace import trace_span
 
 __all__ = ["EmbeddingCache", "trajectory_key"]
 
@@ -89,7 +90,9 @@ class EmbeddingCache:
         """Insert (or refresh) one embedding, evicting LRU entries if full."""
         embedding = np.asarray(embedding, dtype=np.float64)
         registry = get_registry()
-        with self._lock:
+        # Write-back is on the request hot path: attribute it on the
+        # request trace when one is active (no-op otherwise).
+        with trace_span("cache-put"), self._lock:
             self._entries[key] = embedding
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:

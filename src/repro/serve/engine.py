@@ -20,6 +20,14 @@ Degradation contract — **callers never see an exception** from
 Every stage is observable: ``serve.query.*`` counters, per-stage spans
 (``serve/encode``, ``serve/index``, ``serve/degraded``) on the default
 recorder, plus the cache and batcher instruments they own.
+
+Additionally every :meth:`SimilarityServer.topk` call opens one
+``serve.topk`` request trace (:mod:`repro.obs.trace`): child spans for
+the cache probe, queue wait, batched forward (both stamped across the
+thread hop by the :class:`MicroBatcher` via a handoff token), index
+search and the degraded fallback (with the degradation *reason* as an
+attribute), so ``repro-tmn trace`` can show where any single slow
+request spent its time.
 """
 
 from __future__ import annotations
@@ -36,6 +44,7 @@ from ..index.hnsw import HNSWIndex
 from ..metrics import MetricSpec, get_metric, pad_trajectories
 from ..obs.metrics import get_registry
 from ..obs.spans import span
+from ..obs.trace import get_tracer, trace_span
 from .batcher import MicroBatcher
 from .cache import EmbeddingCache, trajectory_key
 
@@ -220,34 +229,54 @@ class SimilarityServer:
         start = time.perf_counter()
         registry = get_registry()
         registry.counter("serve.query.requests").inc()
-        try:
-            points = self._as_points(traj)
-            key = trajectory_key(points)
-            cached = self.cache.get(key)
-            cache_hit = cached is not None
-            if cache_hit:
-                embedding = cached
-            else:
-                remaining = deadline_s
-                if deadline_s is not None:
-                    remaining = deadline_s - (time.perf_counter() - start)
-                    if remaining <= 0:
-                        return self._degraded(points, k, start, cache_hit=False)
-                with span("serve-wait"):
-                    try:
-                        embedding = self.batcher.submit(points).result(timeout=remaining)
-                    except FutureTimeoutError:
-                        registry.counter("serve.query.deadline_missed").inc()
-                        return self._degraded(points, k, start, cache_hit=False)
-                    except Exception:
-                        return self._degraded(points, k, start, cache_hit=False)
-                self.cache.put(key, embedding)
-            return self._answer(embedding, k, start, cache_hit)
-        except Exception:
-            # Last-resort guard: the serving contract is "no exceptions
-            # to the caller"; anything unexpected degrades instead.
-            registry.counter("serve.query.unexpected_errors").inc()
-            return self._degraded(self._as_points(traj), k, start, cache_hit=False)
+        with get_tracer().trace("serve.topk", k=k) as trace:
+            if deadline_s is not None:
+                trace.set(deadline_s=deadline_s)
+            try:
+                points = self._as_points(traj)
+                key = trajectory_key(points)
+                with trace.span("cache") as cache_span:
+                    cached = self.cache.get(key)
+                    cache_hit = cached is not None
+                    cache_span.set(result="hit" if cache_hit else "miss")
+                trace.set(cache_hit=cache_hit)
+                if cache_hit:
+                    embedding = cached
+                else:
+                    remaining = deadline_s
+                    if deadline_s is not None:
+                        remaining = deadline_s - (time.perf_counter() - start)
+                        if remaining <= 0:
+                            return self._degraded(
+                                points, k, start, cache_hit=False,
+                                reason="deadline-before-encode",
+                            )
+                    with span("serve-wait"):
+                        # Queue-wait/forward spans are stamped onto this
+                        # trace by the batcher's flush thread (handoff).
+                        try:
+                            embedding = self.batcher.submit(points).result(timeout=remaining)
+                        except FutureTimeoutError:
+                            registry.counter("serve.query.deadline_missed").inc()
+                            return self._degraded(
+                                points, k, start, cache_hit=False,
+                                reason="deadline-missed",
+                            )
+                        except Exception as exc:
+                            return self._degraded(
+                                points, k, start, cache_hit=False,
+                                reason=f"batch-failed:{type(exc).__name__}",
+                            )
+                    self.cache.put(key, embedding)
+                return self._answer(embedding, k, start, cache_hit)
+            except Exception as exc:
+                # Last-resort guard: the serving contract is "no exceptions
+                # to the caller"; anything unexpected degrades instead.
+                registry.counter("serve.query.unexpected_errors").inc()
+                return self._degraded(
+                    self._as_points(traj), k, start, cache_hit=False,
+                    reason=f"unexpected:{type(exc).__name__}",
+                )
 
     # ------------------------------------------------------------------
     def _answer(
@@ -266,7 +295,7 @@ class SimilarityServer:
                 k=k,
             )
         k_eff = min(k, n)
-        with span("serve-index"):
+        with span("serve-index"), trace_span("index") as index_span:
             if n <= self.brute_threshold or k_eff > n // 2:
                 diffs = np.asarray(self.index.vectors[:n]) - embedding[None, :]
                 sq = (diffs**2).sum(axis=1)
@@ -278,6 +307,9 @@ class SimilarityServer:
             else:
                 dists, ids = self.index.query(embedding, k=k_eff, ef=self.ef_search)
                 source = "hnsw"
+            index_span.set(source=source, n=n, k=k_eff)
+        tracer = get_tracer()
+        tracer.annotate(degraded=False, source=source)
         get_registry().counter("serve.query.answered").inc()
         get_registry().histogram("serve.query.seconds").observe(
             time.perf_counter() - start
@@ -293,16 +325,24 @@ class SimilarityServer:
         )
 
     def _degraded(
-        self, points: np.ndarray, k: int, start: float, cache_hit: bool
+        self,
+        points: np.ndarray,
+        k: int,
+        start: float,
+        cache_hit: bool,
+        reason: str = "unknown",
     ) -> ServeResult:
         """Deadline/fault fallback: exact metric over a bounded subset.
 
         Scans up to ``degraded_scan_limit`` stored trajectories with the
         true trajectory metric — the answer is exact *on that subset*,
         trading coverage for bounded latency instead of raising.
+        ``reason`` is recorded on the request trace so a degraded answer
+        is attributable (deadline vs. fault vs. unexpected error).
         """
         registry = get_registry()
         registry.counter("serve.query.degraded").inc()
+        get_tracer().annotate(degraded=True, degraded_reason=reason, source="degraded-exact")
         with self._trajs_lock:
             subset = list(self._trajs[: self.degraded_scan_limit])
         if not subset:
@@ -315,7 +355,8 @@ class SimilarityServer:
                 seconds=time.perf_counter() - start,
                 k=k,
             )
-        with span("serve-degraded"):
+        with span("serve-degraded"), trace_span("degraded") as deg_span:
+            deg_span.set(reason=reason, scanned=len(subset))
             stacked, lengths = pad_trajectories([points] + subset)
             q_stack = np.repeat(stacked[:1], len(subset), axis=0)
             q_len = np.repeat(lengths[:1], len(subset))
