@@ -1,7 +1,8 @@
 # Convenience targets for the TMN reproduction.
 
-.PHONY: install test lint lint-json bench bench-fast bench-json bench-serve \
-	bench-check trace-demo verify regen-golden profile examples clean
+.PHONY: install test lint lint-json lint-concurrency sanitize-test bench \
+	bench-fast bench-json bench-serve bench-check trace-demo verify \
+	regen-golden profile examples clean
 
 install:
 	pip install -e .
@@ -11,6 +12,19 @@ test:
 
 lint:
 	PYTHONPATH=src python -m repro.analysis src
+
+# Concurrency rule family only (C001–C006): lock-guard discipline,
+# lock-order deadlock detection and thread hygiene over the serve tier.
+lint-concurrency:
+	PYTHONPATH=src python -m repro.analysis src --scope concurrency
+
+# Tier-1 concurrency-sensitive suites under the runtime lock sanitizer:
+# new_lock()/new_rlock() hand out order-checked shims that raise on any
+# observed lock-order cycle and report hold/wait/contention metrics.
+sanitize-test:
+	PYTHONPATH=src python -m pytest tests/test_serve.py tests/test_serve_faults.py \
+		tests/test_serve_concurrency.py tests/test_hnsw.py tests/test_obs.py \
+		tests/test_obs_lockstats.py --sanitize -q
 
 # Machine-readable lint report (violations + suppressed count) for CI artifacts.
 lint-json:
@@ -55,8 +69,10 @@ bench-check:
 trace-demo:
 	PYTHONPATH=src python -m repro.cli trace --demo --top 3
 
-# The default verification path: lint, tier-1 tests, bench-regression gate.
-verify: lint test bench-check
+# The default verification path: lint (all families), the concurrency
+# scope on its own exit gate, tier-1 tests, the sanitized serve subset,
+# and the bench-regression gate.
+verify: lint lint-concurrency test sanitize-test bench-check
 
 # Re-snapshot the golden trainer regression file after an INTENTIONAL
 # numeric change (review the diff before committing it).

@@ -22,6 +22,12 @@ N001      ``exp`` on unbounded input needs clip or max-subtraction
 N002      ``log``/``sqrt`` need an epsilon guard
 N003      division by a computed sum/norm needs an epsilon
 N004      no float equality on tensor data
+C001      shared mutable attribute written outside its inferred lock guard
+C002      inconsistent guard — attribute read bare where writes are locked
+C003      lock-order cycles / non-reentrant self-deadlock, cross-module
+C004      blocking call (forward, queue/future wait, sleep) under a lock
+C005      non-atomic check-then-act on shared state outside the guard
+C006      ``threading.Thread`` without daemon= or join/close discipline
 ========  ==============================================================
 
 The D-rules and S001 run on the cross-module dataflow index built by
@@ -34,7 +40,9 @@ Run it as ``python -m repro.analysis src/``, via ``repro-tmn lint`` or
 Intentional exceptions are marked inline with ``# lint: allow(R00X)`` or
 recorded in a JSON baseline file (``--baseline`` / ``--write-baseline``
 / ``--update-baseline``); reports are available as text, ``--format
-json`` or ``--format sarif``.
+json`` or ``--format sarif``.  ``--scope concurrency`` (or another
+family name) restricts the run to one rule family, and ``--fail-on
+{error,warning}`` picks the severity threshold that gates the exit code.
 """
 
 from .baseline import Baseline, Suppression, load_baseline, write_baseline
@@ -95,6 +103,11 @@ def main(argv=None) -> int:
     parser.add_argument("--json", action="store_true", help="shorthand for --format json")
     parser.add_argument("--rules", default=None,
                         help="comma-separated subset of rule ids to run")
+    parser.add_argument("--scope", default=None,
+                        help="rule family to run (concurrency, stability, ...)")
+    parser.add_argument("--fail-on", choices=("error", "warning"), default="warning",
+                        dest="fail_on",
+                        help="lowest severity that fails the run (default: warning)")
     parser.add_argument("--list-rules", action="store_true", help="print the rule catalogue")
     args = parser.parse_args(argv)
 
@@ -115,6 +128,7 @@ def main(argv=None) -> int:
             # every current finding, not just the unsuppressed ones.
             baseline=None if args.update_baseline else args.baseline,
             rules=selected,
+            scope=args.scope,
         )
     except (FileNotFoundError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -131,4 +145,4 @@ def main(argv=None) -> int:
         print(report.to_sarif())
     else:
         print(report.format_text())
-    return 0 if report.ok else 1
+    return 0 if not report.failing(args.fail_on) else 1

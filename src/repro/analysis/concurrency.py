@@ -1,0 +1,1023 @@
+"""Static concurrency model: locks, guarded regions, escape, lock order.
+
+The serve tier (PRs 4–5) shares mutable state across threads —
+``SimilarityServer``, ``MicroBatcher``, ``EmbeddingCache`` and
+``HNSWIndex`` all coordinate through hand-placed ``threading.Lock`` /
+``RLock`` attributes.  The C-rule family (C001–C006, see
+:mod:`repro.analysis.rules.concurrency`) checks that discipline
+statically; this module builds the model those rules query:
+
+- **lock discovery** — every ``self._lock = threading.Lock()``-style
+  class attribute (through the MRO), module-level lock, and
+  function-local lock, each with a stable id and a lock/rlock kind;
+- a **guarded-region walk** over every function in a lock-relevant
+  module, tracking the set of locks lexically held (``with lock:``
+  scopes) at each attribute access, call and thread spawn;
+- an **entry-lock fixpoint** for private methods: ``_add_locked``-style
+  helpers inherit the intersection of the locks held at every intra-class
+  call site, so delegation behind a public locking wrapper is understood;
+- **guard inference** — an attribute is guarded by the locks under which
+  it is *written* (outside ``__init__``); reads and writes elsewhere are
+  then judged against that guard set;
+- **thread escape** — classes that own locks, acquire locks, or spawn
+  ``threading.Thread`` workers are shared; closures handed to
+  ``Thread(target=...)`` have their free-variable writes tracked;
+- the **lock-order graph** — static acquisition-order edges from nested
+  ``with`` scopes plus interprocedural edges (a call made while holding
+  L reaches everything the callee may transitively acquire), with cycle
+  and self-deadlock detection.
+
+Everything is a conservative lexical approximation: ``with`` statements
+and call edges are what the model sees, manual ``.acquire()`` /
+``.release()`` pairs are not tracked (the runtime sanitizer,
+:mod:`repro.obs.lockstats`, covers those dynamically).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from .dataflow import ClassInfo, FunctionInfo, ModuleInfo, ProjectDataflow
+
+__all__ = [
+    "LOCK_CONSTRUCTORS",
+    "RLOCK_CONSTRUCTORS",
+    "MUTATOR_METHODS",
+    "GENERIC_METHOD_NAMES",
+    "LOCK_IMPL_MODULES",
+    "LockDef",
+    "AttrAccess",
+    "ClosureWrite",
+    "BlockingCall",
+    "CallUnderLock",
+    "OrderEdge",
+    "ThreadSpawn",
+    "CheckThenAct",
+    "ConcurrencyModel",
+    "build_model",
+]
+
+#: Call names (last dotted segment) that construct a lock object.
+LOCK_CONSTRUCTORS = frozenset(
+    {"Lock", "RLock", "new_lock", "new_rlock", "SanitizedLock", "SanitizedRLock"}
+)
+
+#: The reentrant subset of :data:`LOCK_CONSTRUCTORS`.
+RLOCK_CONSTRUCTORS = frozenset({"RLock", "new_rlock", "SanitizedRLock"})
+
+#: Method names whose *call* mutates the receiver in place — used to
+#: treat ``self.x.append(...)`` as a write to ``x``.
+MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "extend",
+        "insert",
+        "pop",
+        "popitem",
+        "popleft",
+        "remove",
+        "discard",
+        "clear",
+        "update",
+        "setdefault",
+        "move_to_end",
+        "sort",
+        "reverse",
+    }
+)
+
+#: Method names too generic for the name-based call fallback: mapping
+#: ``anything.get(...)`` to a project method named ``get`` would invent
+#: lock acquisitions (e.g. ``dict.get`` vs ``EmbeddingCache.get``).
+GENERIC_METHOD_NAMES = frozenset(
+    {
+        "get",
+        "set",
+        "put",
+        "add",
+        "pop",
+        "append",
+        "extend",
+        "update",
+        "close",
+        "clear",
+        "join",
+        "acquire",
+        "release",
+        "submit",
+        "query",
+        "reset",
+        "write",
+        "read",
+        "open",
+        "send",
+        "next",
+        "result",
+        "start",
+        "run",
+        "stop",
+        "items",
+        "keys",
+        "values",
+        "copy",
+        "flush",
+        "record",
+    }
+)
+
+#: Modules exempt from the guard rules (C001/C002/C005): the lock shim
+#: itself mutates its own bookkeeping around raw acquire/release calls by
+#: construction, which the lexical model cannot see.
+LOCK_IMPL_MODULES = ("obs/lockstats.py",)
+
+#: Call patterns considered blocking for C004 (held-lock regions).
+_BLOCKING_NAME_PARTS = ("encode", "forward")
+
+#: Fixpoint iteration cap for the private-method entry-lock inference.
+_MAX_ENTRY_ROUNDS = 8
+
+
+def _dotted_name(node: ast.AST) -> Optional[str]:
+    """Dotted source text of a Name/Attribute chain, else None."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _dotted_name(node.value)
+        return f"{base}.{node.attr}" if base else None
+    return None
+
+
+def _is_self_attr(node: ast.AST) -> Optional[str]:
+    """The attribute name when ``node`` is ``self.<attr>``, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+@dataclass(frozen=True)
+class LockDef:
+    """One discovered lock object and where it lives."""
+
+    lock_id: str  #: stable id, ``<module_rel>::<owner>.<name>``
+    kind: str  #: ``"lock"`` (non-reentrant) or ``"rlock"``
+    module_rel: str
+    line: int
+
+
+@dataclass
+class AttrAccess:
+    """One ``self.<attr>`` read or write, with the locks held around it."""
+
+    class_key: str
+    attr: str
+    write: bool
+    kind: str  #: ``"assign"`` (binding/subscript store) or ``"mutate"``
+    held: Tuple[str, ...]
+    fi: FunctionInfo
+    node: ast.AST
+    in_init: bool
+
+
+@dataclass
+class ClosureWrite:
+    """A write to closure state from inside a nested function."""
+
+    fi: FunctionInfo  #: the enclosing (outer) function
+    func_name: str  #: the nested function doing the writing
+    name: str  #: the free variable written through
+    node: ast.AST
+    held: Tuple[str, ...]
+
+
+@dataclass
+class BlockingCall:
+    """A potentially blocking call made while at least one lock is held."""
+
+    fi: FunctionInfo
+    node: ast.Call
+    held: Tuple[str, ...]
+    desc: str
+
+
+@dataclass
+class CallUnderLock:
+    """Any call made under held locks (for interprocedural order edges)."""
+
+    held: Tuple[str, ...]
+    callees: Tuple[str, ...]  #: resolved call-graph node ids
+    name: Optional[str]  #: syntactic call name, for the fallback map
+    module_rel: str
+    line: int
+
+
+@dataclass(frozen=True)
+class OrderEdge:
+    """One acquisition-order edge: ``src`` held while ``dst`` acquired."""
+
+    src: str
+    dst: str
+    module_rel: str
+    line: int
+    via: str  #: ``"nested"`` (lexical) or ``"call"`` (interprocedural)
+
+
+@dataclass
+class ThreadSpawn:
+    """One ``threading.Thread(...)`` construction site."""
+
+    fi: FunctionInfo
+    node: ast.Call
+    has_daemon: bool
+    target_kind: Optional[str]  #: "nested" | "method" | "name" | None
+    target_name: Optional[str]
+    assigned_attr: Optional[str]  #: ``self.<attr>`` the thread is stored to
+
+
+@dataclass
+class CheckThenAct:
+    """An ``if self.x ...: ... self.x ...`` candidate outside the guard."""
+
+    class_key: str
+    attr: str
+    node: ast.If
+    held: Tuple[str, ...]
+    fi: FunctionInfo
+
+
+@dataclass
+class _Facts:
+    """Accumulators for one fixpoint round of the guarded-region walk."""
+
+    accesses: List[AttrAccess] = field(default_factory=list)
+    closure_writes: List[ClosureWrite] = field(default_factory=list)
+    blocking: List[BlockingCall] = field(default_factory=list)
+    spawns: List[ThreadSpawn] = field(default_factory=list)
+    checks: List[CheckThenAct] = field(default_factory=list)
+    nested_edges: List[OrderEdge] = field(default_factory=list)
+    self_deadlocks: List[OrderEdge] = field(default_factory=list)
+    calls_under_lock: List[CallUnderLock] = field(default_factory=list)
+    direct_acquires: Dict[str, Set[str]] = field(default_factory=dict)
+    #: private-method node id -> held sets observed at intra-class call sites
+    callsites: Dict[str, List[FrozenSet[str]]] = field(default_factory=dict)
+    #: outer function node id -> nested function names used as Thread targets
+    thread_closures: Dict[str, Set[str]] = field(default_factory=dict)
+    #: class keys that spawn threads targeting their own methods
+    spawning_classes: Set[str] = field(default_factory=set)
+
+
+class ConcurrencyModel:
+    """Whole-project lock model the C-rules query.
+
+    Build via :func:`build_model` (cached per :class:`ProjectDataflow`);
+    all attributes are read-only facts after construction.
+    """
+
+    def __init__(self, flow: ProjectDataflow) -> None:
+        self.flow = flow
+        #: every discovered lock, by id
+        self.locks: Dict[str, LockDef] = {}
+        #: class key -> {attr name -> LockDef}, merged through the MRO
+        self.class_locks: Dict[str, Dict[str, LockDef]] = {}
+        #: module rel -> {name -> LockDef} for module-level locks
+        self.module_locks: Dict[str, Dict[str, LockDef]] = {}
+        #: module rel -> {imported local name -> LockDef}
+        self.imported_locks: Dict[str, Dict[str, LockDef]] = {}
+        self.accesses: List[AttrAccess] = []
+        self.closure_writes: List[ClosureWrite] = []
+        self.blocking: List[BlockingCall] = []
+        self.spawns: List[ThreadSpawn] = []
+        self.checks: List[CheckThenAct] = []
+        #: deduplicated acquisition-order edges (first site wins)
+        self.order_edges: List[OrderEdge] = []
+        self.self_deadlocks: List[OrderEdge] = []
+        #: lock-id cycles in the acquisition-order graph (each a node list)
+        self.cycles: List[List[str]] = []
+        #: (class key, attr) -> lock ids inferred to guard the attribute
+        self.guards: Dict[Tuple[str, str], Set[str]] = {}
+        #: classes considered shared across threads
+        self.shared_classes: Set[str] = set()
+        #: outer function node id -> nested thread-target closure names
+        self.thread_closures: Dict[str, Set[str]] = {}
+        #: function node id -> lock ids it may transitively acquire
+        self.acquires: Dict[str, Set[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        self._discover_locks()
+        relevant = self._relevant_modules()
+        facts = self._walk_fixpoint(relevant)
+        self._finalise(facts)
+
+    def _discover_locks(self) -> None:
+        own_class_locks: Dict[str, Dict[str, LockDef]] = {}
+        for rel, info in self.flow.modules.items():
+            # Module-level locks: NAME = threading.Lock() at top level.
+            for node in info.ctx.tree.body:
+                if isinstance(node, ast.Assign):
+                    kind = self._lock_kind(node.value)
+                    if kind is None:
+                        continue
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            ld = LockDef(
+                                f"{rel}::{target.id}", kind, rel, node.lineno
+                            )
+                            self.module_locks.setdefault(rel, {})[target.id] = ld
+                            self.locks[ld.lock_id] = ld
+            # Class-attribute locks: self.X = threading.Lock() in any method.
+            for cinfo in info.classes.values():
+                for mnode in cinfo.methods.values():
+                    for node in ast.walk(mnode):
+                        if not isinstance(node, ast.Assign):
+                            continue
+                        kind = self._lock_kind(node.value)
+                        if kind is None:
+                            continue
+                        for target in node.targets:
+                            attr = _is_self_attr(target)
+                            if attr is None:
+                                continue
+                            ld = LockDef(
+                                f"{rel}::{cinfo.name}.{attr}", kind, rel, node.lineno
+                            )
+                            own_class_locks.setdefault(cinfo.key, {})[attr] = ld
+                            self.locks[ld.lock_id] = ld
+        # Merge through the MRO so subclasses see inherited locks.
+        for info in self.flow.modules.values():
+            for cinfo in info.classes.values():
+                merged: Dict[str, LockDef] = {}
+                for klass in reversed(self.flow.mro(cinfo)):
+                    merged.update(own_class_locks.get(klass.key, {}))
+                if merged:
+                    self.class_locks[cinfo.key] = merged
+        # Imported module-level locks: from .metrics import _UPDATE_LOCK.
+        for rel, info in self.flow.modules.items():
+            for local, target in info.imports.items():
+                mod_dotted, _, name = target.rpartition(".")
+                if not mod_dotted:
+                    continue
+                src = self.flow.by_modname.get(mod_dotted)
+                if src is None:
+                    continue
+                ld = self.module_locks.get(src.ctx.rel, {}).get(name)
+                if ld is not None:
+                    self.imported_locks.setdefault(rel, {})[local] = ld
+
+    @staticmethod
+    def _lock_kind(value: ast.AST) -> Optional[str]:
+        """``"lock"``/``"rlock"`` when ``value`` constructs one, else None."""
+        if not isinstance(value, ast.Call):
+            return None
+        dotted = _dotted_name(value.func)
+        if dotted is None:
+            return None
+        last = dotted.rsplit(".", 1)[-1]
+        if last not in LOCK_CONSTRUCTORS:
+            return None
+        return "rlock" if last in RLOCK_CONSTRUCTORS else "lock"
+
+    def _relevant_modules(self) -> Set[str]:
+        """Modules worth walking: they define, import or could hold locks."""
+        relevant: Set[str] = set(self.module_locks) | set(self.imported_locks)
+        for key in self.class_locks:
+            relevant.add(key.split("::", 1)[0])
+        for rel, info in self.flow.modules.items():
+            if "Thread" in info.ctx.source:
+                relevant.add(rel)
+        return {rel for rel in relevant if rel in self.flow.modules}
+
+    def _walk_fixpoint(self, relevant: Set[str]) -> _Facts:
+        """Run the guarded-region walk to an entry-lock fixpoint."""
+        targets = [
+            fi for fi in self.flow.functions.values() if fi.module_rel in relevant
+        ]
+        entry: Dict[str, FrozenSet[str]] = {}
+        facts = _Facts()
+        for _ in range(_MAX_ENTRY_ROUNDS):
+            facts = _Facts()
+            for fi in targets:
+                _Walker(self, fi, entry.get(fi.node_id, frozenset()), facts).walk()
+            new_entry: Dict[str, FrozenSet[str]] = {}
+            for node_id, held_sets in facts.callsites.items():
+                name = node_id.rsplit(".", 1)[-1]
+                if not name.startswith("_") or name.startswith("__"):
+                    continue  # public methods are API-callable bare
+                inter: FrozenSet[str] = frozenset.intersection(*held_sets)
+                if inter:
+                    new_entry[node_id] = inter
+            if new_entry == entry:
+                break
+            entry = new_entry
+        return facts
+
+    # ------------------------------------------------------------------
+    # Post-walk derivation
+    # ------------------------------------------------------------------
+    def _finalise(self, facts: _Facts) -> None:
+        self.accesses = facts.accesses
+        self.closure_writes = facts.closure_writes
+        self.blocking = facts.blocking
+        self.spawns = facts.spawns
+        self.checks = facts.checks
+        self.thread_closures = facts.thread_closures
+
+        for acc in self.accesses:
+            if acc.write and acc.held and not acc.in_init:
+                self.guards.setdefault((acc.class_key, acc.attr), set()).update(
+                    acc.held
+                )
+
+        self.shared_classes = set(self.class_locks) | facts.spawning_classes
+        for node_id, acquired in facts.direct_acquires.items():
+            if acquired and "." in self.flow.functions[node_id].qualname:
+                fi = self.flow.functions[node_id]
+                cls = fi.qualname.split(".")[0]
+                self.shared_classes.add(f"{fi.module_rel}::{cls}")
+
+        self._build_order_graph(facts)
+
+    def _build_order_graph(self, facts: _Facts) -> None:
+        self.acquires = self._transitive_acquires(facts.direct_acquires)
+        fallback = self._fallback_map()
+
+        edges: Dict[Tuple[str, str], OrderEdge] = {}
+        for edge in facts.nested_edges:
+            edges.setdefault((edge.src, edge.dst), edge)
+        self.self_deadlocks = list(facts.self_deadlocks)
+
+        for call in facts.calls_under_lock:
+            targets = set(call.callees)
+            if call.name is not None and call.name in fallback:
+                targets.add(fallback[call.name])
+            for target in targets:
+                for dst in self.acquires.get(target, ()):
+                    for src in call.held:
+                        if src == dst:
+                            if self.locks[src].kind == "lock":
+                                self.self_deadlocks.append(
+                                    OrderEdge(
+                                        src, dst, call.module_rel, call.line, "call"
+                                    )
+                                )
+                            continue
+                        edges.setdefault(
+                            (src, dst),
+                            OrderEdge(src, dst, call.module_rel, call.line, "call"),
+                        )
+        self.order_edges = sorted(
+            edges.values(), key=lambda e: (e.module_rel, e.line, e.src, e.dst)
+        )
+        self.cycles = self._find_cycles()
+
+    def _transitive_acquires(
+        self, direct: Dict[str, Set[str]]
+    ) -> Dict[str, Set[str]]:
+        """Lock ids each function may acquire, propagated over the call graph.
+
+        Uses the resolved call graph plus a name-based fallback scan for
+        attribute calls the resolver cannot type (``registry.counter(...)``),
+        so acquisitions do not vanish behind an untyped receiver.
+        """
+        acquires: Dict[str, Set[str]] = {
+            nid: set(locks) for nid, locks in direct.items()
+        }
+        eff_edges: Dict[str, Set[str]] = {
+            nid: set(self.flow.edges.get(nid, ())) for nid in self.flow.functions
+        }
+        for _ in range(2):
+            # Round 1 settles resolved edges; the fallback map built from
+            # that result then catches untyped attribute calls in round 2.
+            changed = True
+            while changed:
+                changed = False
+                for nid, callees in eff_edges.items():
+                    mine = acquires.setdefault(nid, set())
+                    before = len(mine)
+                    for callee in callees:
+                        mine |= acquires.get(callee, set())
+                    if len(mine) != before:
+                        changed = True
+            fallback = self._fallback_map(acquires)
+            for nid, fi in self.flow.functions.items():
+                for node in ast.walk(fi.node):
+                    if isinstance(node, ast.Call) and isinstance(
+                        node.func, ast.Attribute
+                    ):
+                        target = fallback.get(node.func.attr)
+                        if target is not None and target != nid:
+                            eff_edges.setdefault(nid, set()).add(target)
+        return {nid: locks for nid, locks in acquires.items() if locks}
+
+    def _fallback_map(
+        self, acquires: Optional[Dict[str, Set[str]]] = None
+    ) -> Dict[str, str]:
+        """Unambiguous method name -> acquiring function, for untyped calls.
+
+        Only names that (a) are not generic (:data:`GENERIC_METHOD_NAMES`)
+        and (b) name exactly one lock-acquiring project function qualify —
+        precision over recall, so ``dict.get`` never becomes a lock edge.
+        """
+        acquires = acquires if acquires is not None else self.acquires
+        candidates: Dict[str, List[str]] = {}
+        for nid, locks in acquires.items():
+            if not locks:
+                continue
+            name = nid.rsplit(".", 1)[-1].rsplit("::", 1)[-1]
+            if name in GENERIC_METHOD_NAMES or name.startswith("__"):
+                continue
+            candidates.setdefault(name, []).append(nid)
+        return {
+            name: nids[0] for name, nids in candidates.items() if len(nids) == 1
+        }
+
+    def _find_cycles(self) -> List[List[str]]:
+        """Strongly connected components of size > 1 in the order graph."""
+        graph: Dict[str, Set[str]] = {}
+        for edge in self.order_edges:
+            graph.setdefault(edge.src, set()).add(edge.dst)
+            graph.setdefault(edge.dst, set())
+        index: Dict[str, int] = {}
+        low: Dict[str, int] = {}
+        on_stack: Set[str] = set()
+        stack: List[str] = []
+        counter = [0]
+        sccs: List[List[str]] = []
+
+        def strongconnect(v: str) -> None:
+            index[v] = low[v] = counter[0]
+            counter[0] += 1
+            stack.append(v)
+            on_stack.add(v)
+            for w in sorted(graph.get(v, ())):
+                if w not in index:
+                    strongconnect(w)
+                    low[v] = min(low[v], low[w])
+                elif w in on_stack:
+                    low[v] = min(low[v], index[w])
+            if low[v] == index[v]:
+                component: List[str] = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    component.append(w)
+                    if w == v:
+                        break
+                if len(component) > 1:
+                    sccs.append(sorted(component))
+
+        for v in sorted(graph):
+            if v not in index:
+                strongconnect(v)
+        return sccs
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def edge_site(self, src: str, dst: str) -> Optional[OrderEdge]:
+        """The recorded acquisition site for an order edge, if any."""
+        for edge in self.order_edges:
+            if edge.src == src and edge.dst == dst:
+                return edge
+        return None
+
+    def guard_of(self, class_key: str, attr: str) -> Set[str]:
+        """Inferred guard lock ids for ``class_key.attr`` (empty when none)."""
+        return self.guards.get((class_key, attr), set())
+
+
+class _Walker:
+    """Guarded-region walk of one function for one fixpoint round."""
+
+    def __init__(
+        self,
+        model: ConcurrencyModel,
+        fi: FunctionInfo,
+        entry_locks: FrozenSet[str],
+        facts: _Facts,
+    ) -> None:
+        self.m = model
+        self.fi = fi
+        self.facts = facts
+        self.module: ModuleInfo = model.flow.modules[fi.module_rel]
+        clsname = fi.qualname.split(".")[0] if "." in fi.qualname else None
+        self.cinfo: Optional[ClassInfo] = (
+            self.module.classes.get(clsname) if clsname else None
+        )
+        self.class_key = self.cinfo.key if self.cinfo else None
+        self.lockmap = model.class_locks.get(self.class_key, {}) if self.class_key else {}
+        self.in_init = fi.qualname.endswith(".__init__")
+        self.entry = tuple(sorted(entry_locks))
+        self.consumed: Set[int] = set()
+        #: stack of (nested function name, local-name set, nonlocal-name set)
+        self.nested: List[Tuple[str, Set[str], Set[str]]] = []
+        self.local_locks: Dict[str, LockDef] = {}
+        self.attr_types = model.flow.attr_types(self.cinfo) if self.cinfo else {}
+        self.local_types: Dict[str, ClassInfo] = {}
+        self._pending_assign_attr: Optional[str] = None
+        self._prescan()
+
+    def _prescan(self) -> None:
+        rel = self.fi.module_rel
+        for node in ast.walk(self.fi.node):
+            if not isinstance(node, ast.Assign) or not isinstance(
+                node.value, ast.Call
+            ):
+                continue
+            kind = self.m._lock_kind(node.value)
+            for target in node.targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                if kind is not None:
+                    ld = LockDef(
+                        f"{rel}::{self.fi.qualname}.{target.id}",
+                        kind,
+                        rel,
+                        node.lineno,
+                    )
+                    self.local_locks[target.id] = ld
+                    self.m.locks[ld.lock_id] = ld
+                else:
+                    classes = self.m.flow._call_result_classes(
+                        self.module, node.value
+                    )
+                    if classes:
+                        self.local_types[target.id] = classes[0]
+
+    # ------------------------------------------------------------------
+    def walk(self) -> None:
+        """Walk the function body with the entry-lock set held."""
+        self.visit_body(self.fi.node.body, self.entry)
+
+    def resolve_lock(self, expr: ast.AST) -> Optional[LockDef]:
+        """The LockDef a ``with``-item context expression denotes, if any."""
+        attr = _is_self_attr(expr)
+        if attr is not None:
+            return self.lockmap.get(attr)
+        if isinstance(expr, ast.Name):
+            rel = self.fi.module_rel
+            return (
+                self.local_locks.get(expr.id)
+                or self.m.module_locks.get(rel, {}).get(expr.id)
+                or self.m.imported_locks.get(rel, {}).get(expr.id)
+            )
+        return None
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def visit_body(self, stmts, held: Tuple[str, ...]) -> None:
+        """Visit a statement list under the given held-lock tuple."""
+        for stmt in stmts:
+            self.visit_stmt(stmt, held)
+
+    def visit_stmt(self, node: ast.stmt, held: Tuple[str, ...]) -> None:
+        """Dispatch one statement, tracking ``with``-scoped lock regions."""
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            self._visit_with(node, held)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._visit_nested(node, held)
+        elif isinstance(node, ast.ClassDef):
+            self.visit_body(node.body, held)
+        elif isinstance(node, ast.Assign):
+            self._pending_assign_attr = None
+            for target in node.targets:
+                attr = _is_self_attr(target)
+                if attr is not None:
+                    self._pending_assign_attr = attr
+            self.visit_expr(node.value, held)
+            self._pending_assign_attr = None
+            for target in node.targets:
+                self.visit_target(target, held)
+        elif isinstance(node, ast.AugAssign):
+            self.visit_expr(node.value, held)
+            self.visit_target(node.target, held)
+        elif isinstance(node, ast.AnnAssign):
+            if node.value is not None:
+                self.visit_expr(node.value, held)
+                self.visit_target(node.target, held)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                self.visit_target(target, held)
+        elif isinstance(node, ast.If):
+            self._check_then_act(node, held)
+            self.visit_expr(node.test, held)
+            self.visit_body(node.body, held)
+            self.visit_body(node.orelse, held)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            self.visit_expr(node.iter, held)
+            self.visit_target(node.target, held)
+            self.visit_body(node.body, held)
+            self.visit_body(node.orelse, held)
+        elif isinstance(node, ast.While):
+            self.visit_expr(node.test, held)
+            self.visit_body(node.body, held)
+            self.visit_body(node.orelse, held)
+        elif isinstance(node, ast.Try):
+            self.visit_body(node.body, held)
+            for handler in node.handlers:
+                if handler.type is not None:
+                    self.visit_expr(handler.type, held)
+                self.visit_body(handler.body, held)
+            self.visit_body(node.orelse, held)
+            self.visit_body(node.finalbody, held)
+        elif isinstance(node, ast.Nonlocal):
+            if self.nested:
+                self.nested[-1][2].update(node.names)
+        else:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    self.visit_expr(child, held)
+
+    def _visit_with(self, node, held: Tuple[str, ...]) -> None:
+        acquired: List[str] = []
+        for item in node.items:
+            ld = self.resolve_lock(item.context_expr)
+            if ld is None:
+                self.visit_expr(item.context_expr, held)
+                continue
+            self.facts.direct_acquires.setdefault(self.fi.node_id, set()).add(
+                ld.lock_id
+            )
+            current = held + tuple(acquired)
+            if ld.lock_id in current:
+                if ld.kind == "lock":
+                    self.facts.self_deadlocks.append(
+                        OrderEdge(
+                            ld.lock_id,
+                            ld.lock_id,
+                            self.fi.module_rel,
+                            node.lineno,
+                            "nested",
+                        )
+                    )
+                continue  # reentrant re-acquire: held set unchanged
+            for src in current:
+                self.facts.nested_edges.append(
+                    OrderEdge(
+                        src, ld.lock_id, self.fi.module_rel, node.lineno, "nested"
+                    )
+                )
+            acquired.append(ld.lock_id)
+        self.visit_body(node.body, held + tuple(acquired))
+
+    def _visit_nested(self, node, held: Tuple[str, ...]) -> None:
+        locals_: Set[str] = {a.arg for a in node.args.args}
+        locals_.update(a.arg for a in node.args.kwonlyargs)
+        if node.args.vararg:
+            locals_.add(node.args.vararg.arg)
+        if node.args.kwarg:
+            locals_.add(node.args.kwarg.arg)
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Store):
+                locals_.add(sub.id)
+        # A nested function runs later, possibly on another thread: locks
+        # held at the definition site are NOT held at execution time.
+        self.nested.append((node.name, locals_, set()))
+        self.visit_body(node.body, ())
+        self.nested.pop()
+
+    def _check_then_act(self, node: ast.If, held: Tuple[str, ...]) -> None:
+        if self.cinfo is None:
+            return
+        test_attrs = {
+            sub.attr
+            for sub in ast.walk(node.test)
+            if _is_self_attr(sub) is not None and sub.attr not in self.lockmap
+        }
+        if not test_attrs:
+            return
+        body_attrs = set()
+        for stmt in node.body + node.orelse:
+            for sub in ast.walk(stmt):
+                if _is_self_attr(sub) is not None:
+                    body_attrs.add(sub.attr)
+        for attr in sorted(test_attrs & body_attrs):
+            self.facts.checks.append(
+                CheckThenAct(self.class_key, attr, node, held, self.fi)
+            )
+
+    # ------------------------------------------------------------------
+    # Expressions and targets
+    # ------------------------------------------------------------------
+    def visit_target(self, node: ast.AST, held: Tuple[str, ...]) -> None:
+        """Visit an assignment/deletion target, recording writes."""
+        attr = _is_self_attr(node)
+        if attr is not None:
+            self.record_access(attr, True, "assign", node, held)
+            return
+        if isinstance(node, ast.Subscript):
+            base_attr = _is_self_attr(node.value)
+            if base_attr is not None:
+                self.record_access(base_attr, True, "assign", node.value, held)
+                self.consumed.add(id(node.value))
+            elif isinstance(node.value, ast.Name):
+                self.record_free_write(node.value.id, node, held)
+            else:
+                self.visit_expr(node.value, held)
+            self.visit_expr(node.slice, held)
+            return
+        if isinstance(node, (ast.Tuple, ast.List)):
+            for elt in node.elts:
+                self.visit_target(elt, held)
+            return
+        if isinstance(node, ast.Starred):
+            self.visit_target(node.value, held)
+            return
+        if isinstance(node, ast.Name):
+            if self.nested and node.id in self.nested[-1][2]:
+                self.record_free_write(node.id, node, held)
+            return
+        if isinstance(node, ast.expr):
+            self.visit_expr(node, held)
+
+    def visit_expr(self, node: ast.AST, held: Tuple[str, ...]) -> None:
+        """Visit one expression, recording reads, calls and spawns."""
+        if isinstance(node, ast.Call):
+            self._visit_call(node, held)
+            return
+        if isinstance(node, ast.Attribute):
+            attr = _is_self_attr(node)
+            if (
+                attr is not None
+                and isinstance(node.ctx, ast.Load)
+                and id(node) not in self.consumed
+            ):
+                self.record_access(attr, False, "read", node, held)
+            self.visit_expr(node.value, held)
+            return
+        if isinstance(node, ast.Lambda):
+            self.visit_expr(node.body, held)
+            return
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self.visit_expr(child, held)
+            elif isinstance(child, ast.comprehension):
+                self.visit_expr(child.iter, held)
+                for cond in child.ifs:
+                    self.visit_expr(cond, held)
+
+    def _visit_call(self, node: ast.Call, held: Tuple[str, ...]) -> None:
+        func = node.func
+        # Mutating method call: self.x.append(...) writes x.
+        if isinstance(func, ast.Attribute) and func.attr in MUTATOR_METHODS:
+            recv_attr = _is_self_attr(func.value)
+            if recv_attr is not None:
+                self.record_access(recv_attr, True, "mutate", func.value, held)
+                self.consumed.add(id(func.value))
+            elif isinstance(func.value, ast.Name) and self.nested:
+                self.record_free_write(func.value.id, node, held)
+        # Thread construction.
+        dotted = _dotted_name(func)
+        if dotted is not None and dotted.rsplit(".", 1)[-1] == "Thread":
+            self._record_spawn(node)
+        # Blocking call under a held lock.
+        if held:
+            desc = self._blocking_desc(node, dotted)
+            if desc is not None:
+                self.facts.blocking.append(
+                    BlockingCall(self.fi, node, held, desc)
+                )
+        # Intra-class call sites (entry-lock inference) + order edges.
+        attr = _is_self_attr(func)
+        if attr is not None and self.cinfo is not None:
+            mfi = self.m.flow.find_method(self.cinfo, attr)
+            if mfi is not None:
+                self.facts.callsites.setdefault(mfi.node_id, []).append(
+                    frozenset(held)
+                )
+        if held:
+            callees = self.m.flow._call_edges(
+                node, self.module, self.cinfo, self.attr_types, self.local_types
+            )
+            name = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else None
+            )
+            self.facts.calls_under_lock.append(
+                CallUnderLock(
+                    held,
+                    tuple(sorted(callees)),
+                    name,
+                    self.fi.module_rel,
+                    node.lineno,
+                )
+            )
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self.visit_expr(child, held)
+            elif isinstance(child, ast.keyword):
+                self.visit_expr(child.value, held)
+
+    def _record_spawn(self, node: ast.Call) -> None:
+        has_daemon = any(kw.arg == "daemon" for kw in node.keywords)
+        target_kind = target_name = None
+        for kw in node.keywords:
+            if kw.arg != "target":
+                continue
+            attr = _is_self_attr(kw.value)
+            if attr is not None:
+                target_kind, target_name = "method", attr
+                if self.class_key is not None:
+                    self.facts.spawning_classes.add(self.class_key)
+            elif isinstance(kw.value, ast.Name):
+                nested_names = {frame[0] for frame in self.nested}
+                outer_nested = self._nested_defs()
+                if kw.value.id in outer_nested or kw.value.id in nested_names:
+                    target_kind, target_name = "nested", kw.value.id
+                    self.facts.thread_closures.setdefault(
+                        self.fi.node_id, set()
+                    ).add(kw.value.id)
+                else:
+                    target_kind, target_name = "name", kw.value.id
+        self.facts.spawns.append(
+            ThreadSpawn(
+                self.fi, node, has_daemon, target_kind, target_name,
+                self._pending_assign_attr,
+            )
+        )
+
+    def _nested_defs(self) -> Set[str]:
+        return {
+            sub.name
+            for sub in ast.walk(self.fi.node)
+            if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and sub is not self.fi.node
+        }
+
+    @staticmethod
+    def _blocking_desc(node: ast.Call, dotted: Optional[str]) -> Optional[str]:
+        if dotted is not None:
+            last = dotted.rsplit(".", 1)[-1]
+            if dotted in ("time.sleep", "sleep"):
+                return f"{dotted}(...)"
+            if any(part in last for part in _BLOCKING_NAME_PARTS):
+                return f"{dotted}(...) (model forward)"
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return None
+        recv = _dotted_name(func.value) or ""
+        if func.attr == "result":
+            return f"{recv}.result() (future wait)"
+        if func.attr == "join" and not node.args:
+            return f"{recv}.join() (thread wait)"
+        if func.attr == "wait":
+            return f"{recv}.wait()"
+        if func.attr == "get" and "queue" in recv.lower():
+            return f"{recv}.get() (queue wait)"
+        return None
+
+    # ------------------------------------------------------------------
+    def record_access(
+        self,
+        attr: str,
+        write: bool,
+        kind: str,
+        node: ast.AST,
+        held: Tuple[str, ...],
+    ) -> None:
+        """Record one ``self.<attr>`` access (lock attributes excluded)."""
+        if self.cinfo is None or attr in self.lockmap:
+            return
+        self.facts.accesses.append(
+            AttrAccess(
+                class_key=self.class_key,
+                attr=attr,
+                write=write,
+                kind=kind if write else "read",
+                held=held,
+                fi=self.fi,
+                node=node,
+                in_init=self.in_init and not self.nested,
+            )
+        )
+
+    def record_free_write(
+        self, name: str, node: ast.AST, held: Tuple[str, ...]
+    ) -> None:
+        """Record a write through a free variable inside a nested function."""
+        if not self.nested:
+            return
+        func_name, locals_, nonlocals = self.nested[-1]
+        if name in locals_ and name not in nonlocals:
+            return
+        self.facts.closure_writes.append(
+            ClosureWrite(self.fi, func_name, name, node, held)
+        )
+
+
+def build_model(flow: ProjectDataflow) -> ConcurrencyModel:
+    """The (cached) concurrency model for a built dataflow index."""
+    model = getattr(flow, "_concurrency_model", None)
+    if model is None:
+        model = ConcurrencyModel(flow)
+        model._build()
+        flow._concurrency_model = model
+    return model

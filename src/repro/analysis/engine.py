@@ -89,10 +89,35 @@ class AnalysisReport:
         """True when the tree is clean."""
         return not self.violations
 
+    @property
+    def error_count(self) -> int:
+        """Number of error-severity violations."""
+        return sum(1 for v in self.violations if v.severity == "error")
+
+    @property
+    def warning_count(self) -> int:
+        """Number of warning-severity violations."""
+        return sum(1 for v in self.violations if v.severity != "error")
+
+    def failing(self, fail_on: str = "warning") -> List[Violation]:
+        """Violations at or above the ``--fail-on`` severity threshold.
+
+        ``"warning"`` (the default) gates on everything, preserving the
+        historical any-violation-fails behaviour; ``"error"`` lets
+        warning-severity findings through without failing the run.
+        """
+        if fail_on not in ("error", "warning"):
+            raise ValueError(f"unknown fail-on threshold {fail_on!r}")
+        if fail_on == "warning":
+            return list(self.violations)
+        return [v for v in self.violations if v.severity == "error"]
+
     def format_text(self) -> str:
         """Human-readable report (one line per violation plus a summary)."""
         summary = (
-            f"{len(self.violations)} violation(s) in {self.files_checked} file(s)"
+            f"{len(self.violations)} violation(s) "
+            f"({self.error_count} error(s), {self.warning_count} warning(s)) "
+            f"in {self.files_checked} file(s)"
             if self.violations
             else f"clean: {self.files_checked} file(s), 0 violations"
         )
@@ -107,6 +132,8 @@ class AnalysisReport:
             {
                 "files_checked": self.files_checked,
                 "suppressed_count": self.suppressed_count,
+                "error_count": self.error_count,
+                "warning_count": self.warning_count,
                 "violations": [v.to_dict() for v in self.violations],
             },
             indent=2,
@@ -128,7 +155,7 @@ class AnalysisReport:
         results = [
             {
                 "ruleId": v.rule,
-                "level": "error",
+                "level": "warning" if v.severity == "warning" else "error",
                 "message": {"text": v.message},
                 "locations": [
                     {
@@ -191,6 +218,7 @@ def run_analysis(
     baseline: Union[str, Path, None] = None,
     root: Union[str, Path, None] = None,
     rules: Optional[Sequence[str]] = None,
+    scope: Optional[str] = None,
 ) -> AnalysisReport:
     """Run every registered rule over ``paths`` and return the report.
 
@@ -209,14 +237,22 @@ def run_analysis(
         current working directory.
     rules:
         Optional subset of rule ids to run (default: all registered).
+    scope:
+        Optional rule-family name (``concurrency``, ``stability``, ...);
+        see :data:`repro.analysis.registry.SCOPE_FAMILIES`.  Combines with
+        ``rules`` by intersection when both are given.
     """
     # Import for the registration side effect: rule modules populate RULES.
     from . import rules as _rules  # noqa: F401
+    from .registry import rules_in_family
 
     if rules is not None:
         unknown = sorted(set(rules) - set(RULES))
         if unknown:
             raise ValueError(f"unknown rule id(s): {', '.join(unknown)}")
+    if scope is not None:
+        family = rules_in_family(scope)
+        rules = family if rules is None else sorted(set(rules) & set(family))
 
     root = Path(root) if root is not None else Path.cwd()
     if tests_dir is None:

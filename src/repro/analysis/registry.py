@@ -22,7 +22,25 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List
 
-__all__ = ["Rule", "RULES", "register", "rule_catalogue"]
+__all__ = [
+    "Rule",
+    "RULES",
+    "SCOPE_FAMILIES",
+    "register",
+    "rule_catalogue",
+    "rules_in_family",
+]
+
+#: ``--scope`` name -> rule-id prefixes it selects.  ``all`` means every
+#: registered rule (the default when no scope is given).
+SCOPE_FAMILIES: Dict[str, tuple] = {
+    "all": (),
+    "style": ("R",),
+    "shapes": ("S",),
+    "differentiability": ("D",),
+    "stability": ("N",),
+    "concurrency": ("C",),
+}
 
 
 @dataclass(frozen=True)
@@ -63,3 +81,18 @@ def register(rule_id: str, title: str, rationale: str, scope: str = "file"):
 def rule_catalogue() -> List[Rule]:
     """All registered rules in id order (for ``--rules`` and the docs)."""
     return [RULES[k] for k in sorted(RULES)]
+
+
+def rules_in_family(scope: str) -> List[str]:
+    """Rule ids selected by a ``--scope`` family name.
+
+    Raises ``ValueError`` for unknown scopes; ``"all"`` returns every
+    registered rule id.
+    """
+    if scope not in SCOPE_FAMILIES:
+        known = ", ".join(sorted(SCOPE_FAMILIES))
+        raise ValueError(f"unknown scope {scope!r} (expected one of: {known})")
+    prefixes = SCOPE_FAMILIES[scope]
+    if not prefixes:
+        return sorted(RULES)
+    return [rid for rid in sorted(RULES) if rid.startswith(prefixes)]

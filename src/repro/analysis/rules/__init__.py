@@ -14,11 +14,14 @@ Importing this package registers every rule with
 - D001/D002 (:mod:`.differentiability`) — backward/gradcheck coverage and
   detach-free forward paths, audited over the cross-module call graph;
 - N001–N004 (:mod:`.stability`) — numerical-stability guards for
-  exp/log/sqrt/normalising divisions and float equality.
+  exp/log/sqrt/normalising divisions and float equality;
+- C001–C006 (:mod:`.concurrency`) — lock-guard discipline, lock-order
+  deadlock detection and thread hygiene over the serve tier.
 """
 
 from . import (
     api,
+    concurrency,
     coverage,
     differentiability,
     dtype,
@@ -32,6 +35,7 @@ from . import (
 
 __all__ = [
     "api",
+    "concurrency",
     "coverage",
     "differentiability",
     "dtype",

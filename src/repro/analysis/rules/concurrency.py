@@ -1,0 +1,360 @@
+"""C001–C006: lock discipline, lock order, and thread hygiene.
+
+These rules run on the :class:`~repro.analysis.concurrency.ConcurrencyModel`
+built over the project dataflow index (see that module for the guard
+inference and escape analysis they share):
+
+- **C001** — shared mutable attribute written outside its inferred guard
+  (or bare in a thread-shared class, or through a thread-target closure);
+- **C002** — inconsistent guard: an attribute read under its lock on some
+  paths and bare on others (warning — reads of a torn value);
+- **C003** — lock-order cycles and non-reentrant self-deadlocks in the
+  static acquisition-order graph, across modules;
+- **C004** — blocking call (model forward, queue/future wait,
+  ``time.sleep``) while holding a lock;
+- **C005** — non-atomic check-then-act: ``if self.x ...: ... self.x ...``
+  outside the guard that makes the pair atomic;
+- **C006** — ``threading.Thread`` without ``daemon=`` or a join/close
+  discipline (warning — leaked threads outlive their owner).
+
+``# lint: allow(Cxxx)`` suppresses a finding inline; the lock-shim module
+itself (:data:`~repro.analysis.concurrency.LOCK_IMPL_MODULES`) is exempt
+from the guard rules because it mutates its bookkeeping around raw
+acquire/release calls the lexical model cannot see.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set, Tuple
+
+from ..concurrency import (
+    LOCK_IMPL_MODULES,
+    ConcurrencyModel,
+    build_model,
+)
+from ..dataflow import ProjectDataflow
+from ..engine import ProjectContext
+from ..registry import register
+from ..violations import Violation
+
+__all__ = [
+    "check_unguarded_writes",
+    "check_inconsistent_guard",
+    "check_lock_order",
+    "check_blocking_under_lock",
+    "check_check_then_act",
+    "check_thread_discipline",
+]
+
+
+def _exempt(path: str) -> bool:
+    return path.endswith(LOCK_IMPL_MODULES)
+
+
+def _short(lock_id: str) -> str:
+    """Compact lock name for messages: ``metrics.py::_UPDATE_LOCK``."""
+    module_rel, _, name = lock_id.partition("::")
+    return f"{module_rel.rsplit('/', 1)[-1]}::{name}"
+
+
+def _shorts(lock_ids) -> str:
+    return ", ".join(sorted(_short(l) for l in lock_ids))
+
+
+def _violation(
+    path: str, node: ast.AST, rule: str, message: str, severity: str = "error"
+) -> Violation:
+    return Violation(
+        path=path,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0),
+        rule=rule,
+        message=message,
+        severity=severity,
+    )
+
+
+@register(
+    "C001",
+    title="shared mutable state written outside its lock",
+    rationale=(
+        "An attribute written under a lock somewhere must be written under "
+        "it everywhere (and thread-shared state needs a lock at all): a "
+        "bare write races with every guarded reader and writer."
+    ),
+    scope="dataflow",
+)
+def check_unguarded_writes(
+    project: ProjectContext, flow: ProjectDataflow
+) -> Iterator[Violation]:
+    """Flag guarded attributes written bare, and bare shared-class writes."""
+    model = build_model(flow)
+    seen: Set[Tuple[str, int, str]] = set()
+    for acc in model.accesses:
+        path = acc.fi.module_rel
+        if _exempt(path) or not acc.write or acc.in_init:
+            continue
+        key = (path, getattr(acc.node, "lineno", 1), acc.attr)
+        if key in seen:
+            continue
+        guard = model.guard_of(acc.class_key, acc.attr)
+        if guard:
+            if not (set(acc.held) & guard):
+                seen.add(key)
+                yield _violation(
+                    path,
+                    acc.node,
+                    "C001",
+                    f"`self.{acc.attr}` is guarded by {_shorts(guard)} "
+                    f"elsewhere but written here without it",
+                )
+        elif (
+            acc.kind == "assign"
+            and not acc.held
+            and acc.class_key in model.shared_classes
+        ):
+            seen.add(key)
+            yield _violation(
+                path,
+                acc.node,
+                "C001",
+                f"`self.{acc.attr}` of thread-shared class "
+                f"`{acc.class_key.rsplit('::', 1)[-1]}` is written with no "
+                f"lock held and no inferred guard",
+            )
+    for cw in model.closure_writes:
+        path = cw.fi.module_rel
+        if _exempt(path) or cw.held:
+            continue
+        targets = model.thread_closures.get(cw.fi.node_id, set())
+        if cw.func_name not in targets:
+            continue
+        key = (path, getattr(cw.node, "lineno", 1), cw.name)
+        if key in seen:
+            continue
+        seen.add(key)
+        yield _violation(
+            path,
+            cw.node,
+            "C001",
+            f"thread-target closure `{cw.func_name}` writes shared "
+            f"`{cw.name}` with no lock held",
+        )
+
+
+@register(
+    "C002",
+    title="inconsistent lock guard on attribute access",
+    rationale=(
+        "Reading an attribute bare that is written under a lock elsewhere "
+        "can observe torn or stale state; take the guard or justify why "
+        "the bare read is benign."
+    ),
+    scope="dataflow",
+)
+def check_inconsistent_guard(
+    project: ProjectContext, flow: ProjectDataflow
+) -> Iterator[Violation]:
+    """Flag bare reads of attributes that have an inferred lock guard."""
+    model = build_model(flow)
+    seen: Set[Tuple[str, int, str]] = set()
+    for acc in model.accesses:
+        path = acc.fi.module_rel
+        if _exempt(path) or acc.write or acc.in_init:
+            continue
+        guard = model.guard_of(acc.class_key, acc.attr)
+        if not guard or (set(acc.held) & guard):
+            continue
+        key = (path, getattr(acc.node, "lineno", 1), acc.attr)
+        if key in seen:
+            continue
+        seen.add(key)
+        yield _violation(
+            path,
+            acc.node,
+            "C002",
+            f"`self.{acc.attr}` is read without {_shorts(guard)}, which "
+            f"guards its writes",
+            severity="warning",
+        )
+
+
+@register(
+    "C003",
+    title="lock-order cycle / non-reentrant self-deadlock",
+    rationale=(
+        "Two threads acquiring the same locks in opposite orders deadlock; "
+        "re-acquiring a non-reentrant lock deadlocks a single thread.  The "
+        "static acquisition-order graph must stay acyclic."
+    ),
+    scope="dataflow",
+)
+def check_lock_order(
+    project: ProjectContext, flow: ProjectDataflow
+) -> Iterator[Violation]:
+    """Flag cycles in the acquisition-order graph and lock re-acquires."""
+    model = build_model(flow)
+    for edge in model.self_deadlocks:
+        detail = (
+            "nested `with` re-acquires it in the same thread"
+            if edge.via == "nested"
+            else "a call made while holding it acquires it again"
+        )
+        yield _violation(
+            edge.module_rel,
+            _line_node(edge.line),
+            "C003",
+            f"non-reentrant lock {_short(edge.src)} would self-deadlock: "
+            f"{detail} (use an RLock or restructure)",
+        )
+    for cycle in model.cycles:
+        site = None
+        n = len(cycle)
+        for i in range(n):
+            site = model.edge_site(cycle[i], cycle[(i + 1) % n])
+            if site is not None:
+                break
+        chain = " -> ".join(_short(l) for l in cycle + cycle[:1])
+        yield _violation(
+            site.module_rel if site else cycle[0].partition("::")[0],
+            _line_node(site.line if site else 1),
+            "C003",
+            f"lock-order cycle: {chain} — threads taking these locks in "
+            f"different orders can deadlock",
+        )
+
+
+class _line_node:
+    """Minimal node-like carrier so order findings reuse ``_violation``."""
+
+    def __init__(self, line: int) -> None:
+        self.lineno = line
+        self.col_offset = 0
+
+
+@register(
+    "C004",
+    title="blocking call while holding a lock",
+    rationale=(
+        "A model forward, queue/future wait or sleep inside a critical "
+        "section serialises every other thread on that lock for the full "
+        "blocking duration — move the slow work outside the lock."
+    ),
+    scope="dataflow",
+)
+def check_blocking_under_lock(
+    project: ProjectContext, flow: ProjectDataflow
+) -> Iterator[Violation]:
+    """Flag encode/forward, queue waits, future waits, sleeps under locks."""
+    model = build_model(flow)
+    for call in model.blocking:
+        yield _violation(
+            call.fi.module_rel,
+            call.node,
+            "C004",
+            f"blocking call {call.desc} while holding {_shorts(call.held)}",
+        )
+
+
+@register(
+    "C005",
+    title="non-atomic check-then-act on shared state",
+    rationale=(
+        "`if self.x ...: ... self.x ...` outside the guard is a TOCTOU "
+        "race: the state can change between the check and the act.  Put "
+        "both sides in one critical section."
+    ),
+    scope="dataflow",
+)
+def check_check_then_act(
+    project: ProjectContext, flow: ProjectDataflow
+) -> Iterator[Violation]:
+    """Flag guarded attributes checked and then acted on outside the lock."""
+    model = build_model(flow)
+    seen: Set[Tuple[str, int, str]] = set()
+    for check in model.checks:
+        path = check.fi.module_rel
+        if _exempt(path):
+            continue
+        guard = model.guard_of(check.class_key, check.attr)
+        if not guard or (set(check.held) & guard):
+            continue
+        key = (path, check.node.lineno, check.attr)
+        if key in seen:
+            continue
+        seen.add(key)
+        yield _violation(
+            path,
+            check.node,
+            "C005",
+            f"check-then-act on `self.{check.attr}` outside "
+            f"{_shorts(guard)}: the test and the action are not atomic",
+        )
+
+
+@register(
+    "C006",
+    title="thread without daemon= or join discipline",
+    rationale=(
+        "A non-daemon thread that nothing joins outlives its owner and "
+        "blocks interpreter shutdown; pass daemon= explicitly or join it "
+        "on the owner's close path."
+    ),
+    scope="dataflow",
+)
+def check_thread_discipline(
+    project: ProjectContext, flow: ProjectDataflow
+) -> Iterator[Violation]:
+    """Flag ``threading.Thread(...)`` sites with no lifecycle discipline."""
+    model = build_model(flow)
+    for spawn in model.spawns:
+        if spawn.has_daemon or _joined(model, spawn):
+            continue
+        yield _violation(
+            spawn.fi.module_rel,
+            spawn.node,
+            "C006",
+            "threading.Thread(...) without daemon= and without a visible "
+            "join/close discipline",
+            severity="warning",
+        )
+
+
+def _joined(model: ConcurrencyModel, spawn) -> bool:
+    """Whether a spawn site has a join discipline the model can see."""
+    if _has_plain_join(spawn.fi.node):
+        return True
+    if spawn.assigned_attr is None or "." not in spawn.fi.qualname:
+        return False
+    clsname = spawn.fi.qualname.split(".")[0]
+    module = model.flow.modules.get(spawn.fi.module_rel)
+    cinfo = module.classes.get(clsname) if module else None
+    if cinfo is None:
+        return False
+    for mnode in cinfo.methods.values():
+        for sub in ast.walk(mnode):
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr == "join"
+                and isinstance(sub.func.value, ast.Attribute)
+                and isinstance(sub.func.value.value, ast.Name)
+                and sub.func.value.value.id == "self"
+                and sub.func.value.attr == spawn.assigned_attr
+            ):
+                return True
+    return False
+
+
+def _has_plain_join(fn_node: ast.AST) -> bool:
+    """A zero-positional-argument ``.join()`` call anywhere in the function."""
+    for sub in ast.walk(fn_node):
+        if (
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Attribute)
+            and sub.func.attr == "join"
+            and not sub.args
+        ):
+            return True
+    return False

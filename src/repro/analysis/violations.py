@@ -27,6 +27,9 @@ class Violation:
         Rule identifier (``R001`` ... ``R006``, ``S001``).
     message:
         Human-readable description of what the rule saw.
+    severity:
+        ``"error"`` (default) or ``"warning"``; the ``--fail-on``
+        threshold decides which severities gate the exit code.
     """
 
     path: str
@@ -34,6 +37,7 @@ class Violation:
     col: int
     rule: str
     message: str
+    severity: str = "error"
 
     def location(self) -> str:
         """``path:line`` — the canonical way to cite a violation."""
@@ -50,9 +54,14 @@ def sort_violations(violations: Iterable[Violation]) -> List[Violation]:
 
 
 def format_text(violations: Iterable[Violation]) -> str:
-    """Render violations one-per-line, ``path:line:col: RULE message``."""
+    """Render violations one-per-line, ``path:line:col: RULE message``.
+
+    Non-error severities carry a trailing ``[warning]`` marker so the text
+    report distinguishes gating findings from advisory ones.
+    """
     lines = [
         f"{v.path}:{v.line}:{v.col}: {v.rule} {v.message}"
+        + (f" [{v.severity}]" if v.severity != "error" else "")
         for v in sort_violations(violations)
     ]
     return "\n".join(lines)

@@ -211,6 +211,11 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--json", action="store_true",
                       help="shorthand for --format json")
     lint.add_argument("--rules", default=None, help="comma-separated rule subset")
+    lint.add_argument("--scope", default=None,
+                      help="rule family to run (concurrency, stability, ...)")
+    lint.add_argument("--fail-on", choices=("error", "warning"), default="warning",
+                      dest="fail_on",
+                      help="lowest severity that fails the run (default: warning)")
     lint.add_argument("--update-baseline", action="store_true",
                       help="re-snapshot current findings into the --baseline file")
     return parser
@@ -456,6 +461,7 @@ def _cmd_lint(args) -> int:
             # captures every current finding, not just the unsuppressed ones.
             baseline=None if update else args.baseline,
             rules=rules,
+            scope=args.scope,
         )
     except (FileNotFoundError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -471,7 +477,7 @@ def _cmd_lint(args) -> int:
         print(report.to_sarif())
     else:
         print(report.format_text())
-    return 0 if report.ok else 1
+    return 0 if not report.failing(args.fail_on) else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -21,11 +21,11 @@ from __future__ import annotations
 
 import heapq
 import math
-import threading
 from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
+from ..obs.lockstats import new_rlock
 from ..obs.metrics import get_registry
 from ..obs.trace import annotate
 
@@ -67,7 +67,7 @@ class HNSWIndex:
         self._max_level = -1
         # Guards graph mutation and search; reentrant so query_batch can
         # delegate to the single-query path while already holding it.
-        self._lock = threading.RLock()
+        self._lock = new_rlock("index.hnsw")
 
     def __len__(self) -> int:
         with self._lock:

@@ -23,7 +23,12 @@ when the measurement layer exists first.  This package provides it:
 - :mod:`repro.obs.slo` — declarative SLOs (latency percentile, degraded
   rate, drop rate) evaluated over the trace ring;
 - :mod:`repro.obs.benchgate` — bench-regression gate diffing fresh bench
-  JSON against committed baselines (``repro-tmn bench-diff``).
+  JSON against committed baselines (``repro-tmn bench-diff``);
+- :mod:`repro.obs.lockstats` — runtime lock sanitizer: instrumented
+  ``SanitizedLock``/``SanitizedRLock`` shims behind the ``new_lock`` /
+  ``new_rlock`` factories, a runtime lock-order graph that raises on
+  observed cycles, and hold/wait/contention metrics per named lock
+  (``REPRO_LOCK_SANITIZE=1`` or ``pytest --sanitize``).
 
 Overhead policy: always-on instrumentation (registry counters, batch-level
 spans, the free-function op guard) must stay under a few hundred
@@ -33,6 +38,16 @@ documented as such.  See DESIGN.md §9.
 
 from .benchgate import BenchDiff, compare_bench, compare_bench_files
 from .expo import render_exposition
+from .lockstats import (
+    LockOrderError,
+    LockStats,
+    SanitizedLock,
+    SanitizedRLock,
+    get_lockstats,
+    held_lock_names,
+    new_lock,
+    new_rlock,
+)
 from .log import Logger, configure, get_logger
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, get_registry
 from .profile import OpProfiler, OpStat, format_op_table
@@ -57,6 +72,8 @@ __all__ = [
     "Gauge",
     "Handoff",
     "Histogram",
+    "LockOrderError",
+    "LockStats",
     "Logger",
     "MetricsRegistry",
     "OpProfiler",
@@ -66,6 +83,8 @@ __all__ = [
     "SLO",
     "SLOStatus",
     "SLOViolation",
+    "SanitizedLock",
+    "SanitizedRLock",
     "SpanRecorder",
     "Trace",
     "Tracer",
@@ -83,9 +102,13 @@ __all__ = [
     "format_slos",
     "format_spans",
     "format_trace",
+    "get_lockstats",
     "get_logger",
     "get_registry",
     "get_tracer",
+    "held_lock_names",
+    "new_lock",
+    "new_rlock",
     "read_run",
     "read_trace_log",
     "render_exposition",

@@ -1,0 +1,319 @@
+"""Runtime lock sanitizer: instrumented locks, order graph, contention.
+
+The static C-rules (:mod:`repro.analysis.rules.concurrency`) prove lock
+discipline lexically; this module checks it *dynamically*.  When the
+sanitizer is enabled, the :func:`new_lock` / :func:`new_rlock` factories
+hand out :class:`SanitizedLock` / :class:`SanitizedRLock` shims instead
+of plain ``threading`` locks.  Each shim:
+
+- records the per-thread **acquisition stack** (which named locks this
+  thread currently holds, in order);
+- feeds every held->acquired pair into a process-wide **runtime
+  lock-order graph** and raises :class:`LockOrderError` *before
+  blocking* when the new edge would close a cycle — an observed
+  deadlock schedule fails loudly instead of hanging the suite;
+- detects same-thread re-acquisition of a non-reentrant lock (certain
+  self-deadlock) and raises instead of freezing;
+- reports **hold-time** and **wait-time** histograms plus contention
+  and acquisition counters through the process metrics registry
+  (``lock.<name>.hold_seconds`` / ``.wait_seconds`` / ``.contended`` /
+  ``.acquisitions``), so lock behaviour shows up in ``repro-tmn
+  metrics`` and the Prometheus exposition like any other instrument.
+
+Enablement: set ``REPRO_LOCK_SANITIZE=1`` in the environment, call
+:func:`enable`, or run the test suite with ``pytest --sanitize``.  The
+factories consult the flag at *construction* time, so enable the
+sanitizer before building the objects under test.  When disabled the
+factories return plain ``threading.Lock``/``RLock`` objects — zero
+overhead on production paths.
+
+The metrics registry's own ``_UPDATE_LOCK`` (and this module's graph
+lock) are deliberately plain locks, never sanitized: observing a
+hold-time histogram acquires the registry lock, so sanitizing it would
+recurse the instrumentation into itself.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+from .metrics import get_registry
+
+__all__ = [
+    "LockOrderError",
+    "LockStats",
+    "SanitizedLock",
+    "SanitizedRLock",
+    "enable",
+    "disable",
+    "is_enabled",
+    "new_lock",
+    "new_rlock",
+    "get_lockstats",
+    "held_lock_names",
+]
+
+#: Environment variable that switches the sanitizer on at import time.
+ENV_FLAG = "REPRO_LOCK_SANITIZE"
+
+
+class LockOrderError(RuntimeError):
+    """An observed acquisition would deadlock (cycle or re-acquire)."""
+
+
+class LockStats:
+    """Process-wide runtime lock-order graph and per-thread held stacks.
+
+    One instance exists per process (:func:`get_lockstats`); the shims
+    report every acquisition edge into it.  The internal bookkeeping
+    lock is a plain ``threading.Lock`` held only for short dict walks —
+    it is itself never sanitized (see module docstring).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        #: lock name -> names acquired while it was held
+        self._edges: Dict[str, Set[str]] = {}
+        #: (src, dst) -> thread name that first observed the edge
+        self._edge_threads: Dict[Tuple[str, str], str] = {}
+        self._tls = threading.local()
+
+    # -- per-thread stacks ---------------------------------------------
+    def _stack(self) -> List[dict]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = []
+            self._tls.stack = stack
+        return stack
+
+    def held_names(self) -> List[str]:
+        """Names of locks the calling thread currently holds, in order."""
+        return [entry["name"] for entry in self._stack()]
+
+    def find_entry(self, lock: object) -> Optional[dict]:
+        """The calling thread's stack entry for ``lock``, if held."""
+        for entry in self._stack():
+            if entry["lock"] is lock:
+                return entry
+        return None
+
+    def push(self, lock: object, name: str) -> None:
+        """Record that the calling thread now holds ``lock``."""
+        self._stack().append(
+            {"lock": lock, "name": name, "acquired_at": time.perf_counter(),
+             "depth": 1}
+        )
+
+    def pop(self, lock: object) -> dict:
+        """Remove and return the calling thread's entry for ``lock``."""
+        stack = self._stack()
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i]["lock"] is lock:
+                return stack.pop(i)
+        raise RuntimeError("release of a sanitized lock this thread never acquired")
+
+    # -- order graph ---------------------------------------------------
+    def check_and_add(self, held: List[str], target: str) -> None:
+        """Add held->target edges; raise before a cycle-closing acquire.
+
+        Called by the shims *before* they block on the inner lock, so an
+        observed deadlock schedule surfaces as :class:`LockOrderError`
+        with the offending chain instead of a hung test run.
+        """
+        thread = threading.current_thread().name
+        with self._lock:
+            for src in dict.fromkeys(held):  # dedup, keep order
+                if src == target:
+                    continue  # same name on two instances: order unknowable
+                path = self._path(target, src)
+                if path is not None:
+                    chain = " -> ".join(path + [target])
+                    first = self._edge_threads.get((path[0], path[1]), "?") if (
+                        len(path) > 1
+                    ) else thread
+                    raise LockOrderError(
+                        f"lock-order cycle closed by thread {thread!r} "
+                        f"acquiring {target!r} while holding {src!r}: "
+                        f"{chain} (reverse order first seen on thread "
+                        f"{first!r})"
+                    )
+            for src in dict.fromkeys(held):
+                if src == target:
+                    continue
+                if target not in self._edges.setdefault(src, set()):
+                    self._edges[src].add(target)
+                    self._edge_threads.setdefault((src, target), thread)
+                self._edges.setdefault(target, set())
+
+    def _path(self, start: str, goal: str) -> Optional[List[str]]:
+        """A path start -> ... -> goal in the edge graph, else None."""
+        stack: List[Tuple[str, List[str]]] = [(start, [start])]
+        seen: Set[str] = set()
+        while stack:
+            node, path = stack.pop()
+            if node == goal:
+                return path
+            if node in seen:
+                continue
+            seen.add(node)
+            for nxt in sorted(self._edges.get(node, ())):
+                stack.append((nxt, path + [nxt]))
+        return None
+
+    def order_graph(self) -> Dict[str, Set[str]]:
+        """A copy of the observed acquisition-order graph."""
+        with self._lock:
+            return {src: set(dsts) for src, dsts in self._edges.items()}
+
+    def cycles(self) -> List[List[str]]:
+        """Cycles currently present in the observed graph (should be [])."""
+        graph = self.order_graph()
+        out: List[List[str]] = []
+        for start in sorted(graph):
+            for mid in sorted(graph.get(start, ())):
+                with self._lock:
+                    path = self._path(mid, start)
+                if path is not None and start != mid:
+                    cycle = sorted(set([start] + path))
+                    if cycle not in out:
+                        out.append(cycle)
+        return out
+
+    def reset(self) -> None:
+        """Forget the observed order graph (held stacks are untouched)."""
+        with self._lock:
+            self._edges.clear()
+            self._edge_threads.clear()
+
+
+class _SanitizedBase:
+    """Shared shim machinery over an inner ``threading`` lock."""
+
+    _reentrant = False
+
+    def __init__(self, name: str):
+        self.name = name
+        self._inner = (
+            threading.RLock() if self._reentrant else threading.Lock()
+        )
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        """Acquire with order checking, wait timing and stack recording."""
+        stats = get_lockstats()
+        entry = stats.find_entry(self)
+        if entry is not None:
+            if not self._reentrant:
+                raise LockOrderError(
+                    f"thread {threading.current_thread().name!r} re-acquired "
+                    f"non-reentrant lock {self.name!r} it already holds "
+                    f"(certain self-deadlock)"
+                )
+            got = self._inner.acquire(blocking, timeout)
+            if got:
+                entry["depth"] += 1
+            return got
+        stats.check_and_add(stats.held_names(), self.name)
+        registry = get_registry()
+        got = self._inner.acquire(False)
+        if not got:
+            if not blocking:
+                return False
+            registry.counter(f"lock.{self.name}.contended").inc()
+            started = time.perf_counter()
+            got = self._inner.acquire(True, timeout)
+            registry.histogram(f"lock.{self.name}.wait_seconds").observe(
+                time.perf_counter() - started
+            )
+            if not got:
+                return False
+        stats.push(self, self.name)
+        registry.counter(f"lock.{self.name}.acquisitions").inc()
+        return True
+
+    def release(self) -> None:
+        """Release, recording hold time on the outermost release."""
+        stats = get_lockstats()
+        entry = stats.find_entry(self)
+        if entry is None:
+            raise RuntimeError(
+                f"release of sanitized lock {self.name!r} not held by "
+                f"thread {threading.current_thread().name!r}"
+            )
+        if self._reentrant and entry["depth"] > 1:
+            entry["depth"] -= 1
+            self._inner.release()
+            return
+        stats.pop(self)
+        hold = time.perf_counter() - entry["acquired_at"]
+        self._inner.release()
+        get_registry().histogram(f"lock.{self.name}.hold_seconds").observe(hold)
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        kind = "SanitizedRLock" if self._reentrant else "SanitizedLock"
+        return f"<{kind} {self.name!r}>"
+
+
+class SanitizedLock(_SanitizedBase):
+    """Drop-in non-reentrant lock with order checking and lock metrics."""
+
+    _reentrant = False
+
+    def locked(self) -> bool:
+        """Whether the inner lock is currently held by any thread."""
+        return self._inner.locked()
+
+
+class SanitizedRLock(_SanitizedBase):
+    """Drop-in reentrant lock; only the outermost acquire/release count."""
+
+    _reentrant = True
+
+
+#: Process-wide sanitizer state; flipped by :func:`enable`/:func:`disable`.
+_STATE = {"enabled": os.environ.get(ENV_FLAG, "").lower() in ("1", "true", "yes")}
+
+_STATS = LockStats()
+
+
+def get_lockstats() -> LockStats:
+    """The process-wide :class:`LockStats` instance."""
+    return _STATS
+
+
+def enable() -> None:
+    """Turn the sanitizer on for locks created from now on."""
+    _STATE["enabled"] = True
+
+
+def disable() -> None:
+    """Turn the sanitizer off for locks created from now on."""
+    _STATE["enabled"] = False
+
+
+def is_enabled() -> bool:
+    """Whether :func:`new_lock`/:func:`new_rlock` return sanitized shims."""
+    return _STATE["enabled"]
+
+
+def new_lock(name: str) -> Union[SanitizedLock, "threading.Lock"]:
+    """A named mutex: sanitized when enabled, plain ``threading.Lock`` not."""
+    return SanitizedLock(name) if is_enabled() else threading.Lock()
+
+
+def new_rlock(name: str) -> Union[SanitizedRLock, "threading.RLock"]:
+    """A named reentrant lock: sanitized when enabled, plain otherwise."""
+    return SanitizedRLock(name) if is_enabled() else threading.RLock()
+
+
+def held_lock_names() -> List[str]:
+    """Sanitized-lock names the calling thread currently holds (in order)."""
+    return get_lockstats().held_names()

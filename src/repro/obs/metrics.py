@@ -54,7 +54,8 @@ class Counter:
     @property
     def value(self) -> float:
         """Current accumulated count."""
-        return self._value
+        with _UPDATE_LOCK:
+            return self._value
 
     def inc(self, amount: Union[int, float] = 1) -> None:
         """Add ``amount`` (must be non-negative) to the counter."""
@@ -65,11 +66,13 @@ class Counter:
 
     def reset(self) -> None:
         """Zero the counter in place."""
-        self._value = 0.0
+        with _UPDATE_LOCK:
+            self._value = 0.0
 
     def to_dict(self) -> Dict[str, float]:
         """Serialisable snapshot of this instrument."""
-        return {"type": "counter", "value": self._value}
+        with _UPDATE_LOCK:
+            return {"type": "counter", "value": self._value}
 
 
 class Gauge:
@@ -135,17 +138,20 @@ class Histogram:
     @property
     def count(self) -> int:
         """Exact number of observations recorded (may exceed the reservoir)."""
-        return self._count
+        with _UPDATE_LOCK:
+            return self._count
 
     @property
     def total(self) -> float:
         """Exact sum of all observations."""
-        return self._total
+        with _UPDATE_LOCK:
+            return self._total
 
     @property
     def reservoir_len(self) -> int:
         """How many observations are currently stored (<= the cap)."""
-        return len(self._values)
+        with _UPDATE_LOCK:
+            return len(self._values)
 
     def observe(self, value: Union[int, float]) -> None:
         """Record one observation (bounded memory, see class docstring)."""
@@ -169,17 +175,22 @@ class Histogram:
     def percentile(self, q: float) -> float:
         """``q``-th percentile (0..100): exact below the reservoir cap,
         an unbiased estimate from the reservoir sample above it."""
-        if not self._values:
+        # Copy under the lock, run numpy outside it: percentile sorting
+        # is O(n log n) and must not stall concurrent observers.
+        with _UPDATE_LOCK:
+            values = list(self._values)
+        if not values:
             raise ValueError(f"histogram {self.name!r} has no observations")
-        return float(np.percentile(self._values, q))
+        return float(np.percentile(values, q))
 
     def reset(self) -> None:
         """Drop all observations and exact totals (RNG stream continues)."""
-        self._values.clear()
-        self._count = 0
-        self._total = 0.0
-        self._min = None
-        self._max = None
+        with _UPDATE_LOCK:
+            self._values.clear()
+            self._count = 0
+            self._total = 0.0
+            self._min = None
+            self._max = None
 
     def to_dict(self) -> Dict[str, Union[str, float, int]]:
         """Serialisable summary: count/total/min/mean/max and p50/p90/p99.
@@ -188,16 +199,25 @@ class Histogram:
         percentiles are reservoir estimates once ``count`` exceeds the
         cap (exact below it).
         """
-        if not self._count:
+        # One consistent copy of the state under the lock; the percentile
+        # math runs outside so the shared update lock is never held
+        # across numpy calls.
+        with _UPDATE_LOCK:
+            count = self._count
+            total = self._total
+            lo = self._min
+            hi = self._max
+            values = list(self._values)
+        if not count:
             return {"type": "histogram", "count": 0}
-        arr = np.asarray(self._values)
+        arr = np.asarray(values)
         return {
             "type": "histogram",
-            "count": int(self._count),
-            "total": float(self._total),
-            "min": float(self._min),
-            "mean": float(self._total / self._count),
-            "max": float(self._max),
+            "count": int(count),
+            "total": float(total),
+            "min": float(lo),
+            "mean": float(total / count),
+            "max": float(hi),
             "p50": float(np.percentile(arr, 50)),
             "p90": float(np.percentile(arr, 90)),
             "p99": float(np.percentile(arr, 99)),
@@ -220,7 +240,10 @@ class MetricsRegistry:
         self._instruments: Dict[str, _Instrument] = {}
 
     def _get(self, name: str, kind):
-        existing = self._instruments.get(name)
+        # Lock-free fast path: dict reads are atomic under the GIL, and a
+        # miss falls through to a locked setdefault that re-checks, so a
+        # racing create is safe.
+        existing = self._instruments.get(name)  # lint: allow(C002, C005)
         if existing is None:
             with _UPDATE_LOCK:
                 existing = self._instruments.setdefault(name, kind(name))
@@ -245,15 +268,26 @@ class MetricsRegistry:
 
     def names(self) -> List[str]:
         """All registered instrument names, sorted."""
-        return sorted(self._instruments)
+        with _UPDATE_LOCK:
+            return sorted(self._instruments)
 
     def snapshot(self) -> Dict[str, dict]:
         """One serialisable dict per instrument, keyed by name."""
-        return {name: self._instruments[name].to_dict() for name in self.names()}
+        # Copy the instrument list under the lock, then serialise outside
+        # it: each ``to_dict`` re-acquires the (non-reentrant) update
+        # lock itself, so calling it while holding the lock would
+        # self-deadlock.
+        with _UPDATE_LOCK:
+            instruments = sorted(self._instruments.items())
+        return {name: instrument.to_dict() for name, instrument in instruments}
 
     def reset(self) -> None:
         """Clear every instrument's state in place (references stay valid)."""
-        for instrument in self._instruments.values():
+        # Same copy-then-call shape as ``snapshot``: each instrument's
+        # ``reset`` takes the update lock, so it must run outside it.
+        with _UPDATE_LOCK:
+            instruments = list(self._instruments.values())
+        for instrument in instruments:
             instrument.reset()
 
 

@@ -258,13 +258,14 @@ class Trace:
         """JSON-ready form (what the JSONL trace log stores per line)."""
         with self._lock:
             events = [dict(e) for e in self.events]
+            dropped = self.dropped_events
         return {
             "trace_id": self.trace_id,
             "name": self.name,
             "start": self.start,
             "end": self.end,
             "attrs": dict(self.attrs),
-            "dropped_events": self.dropped_events,
+            "dropped_events": dropped,
             "events": events,
         }
 

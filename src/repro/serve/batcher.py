@@ -40,6 +40,7 @@ from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
+from ..obs.lockstats import new_lock
 from ..obs.metrics import get_registry
 from ..obs.trace import current_trace
 
@@ -112,6 +113,10 @@ class MicroBatcher:
         self.idle_grace_s = idle_grace_ms / 1000.0
         self._name = name
         self._queue: "queue.Queue[Optional[_Request]]" = queue.Queue()
+        # Guards the closed flag and the submit-vs-close race: a request
+        # is enqueued under the lock only while the batcher is open, so
+        # close() can never strand an accepted request after its drain.
+        self._lock = new_lock(f"{name}.batcher")
         self._closed = False
         self._thread = threading.Thread(
             target=self._run, name=f"{name}-microbatcher", daemon=True
@@ -121,21 +126,30 @@ class MicroBatcher:
     # ------------------------------------------------------------------
     def submit(self, traj) -> Future:
         """Enqueue one trajectory; the future resolves to its (d,) embedding."""
-        if self._closed:
-            raise RuntimeError("MicroBatcher is closed")
-        request = _Request(traj)
-        self._queue.put(request)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("MicroBatcher is closed")
+            request = _Request(traj)
+            self._queue.put(request)
         get_registry().counter(f"{self._name}.requests").inc()
         return request.future
 
     def close(self, timeout: Optional[float] = 5.0) -> None:
-        """Stop the flusher thread; fail any still-pending futures."""
-        if self._closed:
-            return
-        self._closed = True
+        """Stop the flusher thread; fail any still-pending futures.
+
+        Idempotent: the first call wins the flag under the lock and does
+        the shutdown; later calls return immediately.  The join and the
+        drain run outside the lock — joining a thread while holding a
+        lock submitters contend on would serialise shutdown behind them.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
         self._queue.put(None)  # wake the flusher
         self._thread.join(timeout=timeout)
-        # Drain anything that raced past the close flag.
+        # Fail whatever was accepted before the flag flipped but never
+        # flushed; no new request can be enqueued once _closed is set.
         while True:
             try:
                 request = self._queue.get_nowait()

@@ -211,7 +211,10 @@ def run_serve_bench(
                     if i >= n_queries:
                         return
                     next_query["i"] = i + 1
-                results[i] = server.topk(queries[i], k=k, deadline_s=deadline_s)
+                # Slot i is handed to exactly one worker by the hand_out
+                # block above, so this write is index-partitioned — no two
+                # threads ever share a slot.
+                results[i] = server.topk(queries[i], k=k, deadline_s=deadline_s)  # lint: allow(C001)
 
         threads = [threading.Thread(target=worker) for _ in range(workers)]
         start = time.perf_counter()

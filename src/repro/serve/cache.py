@@ -22,12 +22,12 @@ hit rates without reaching into server internals.
 from __future__ import annotations
 
 import hashlib
-import threading
 from collections import OrderedDict
 from typing import Optional
 
 import numpy as np
 
+from ..obs.lockstats import new_lock
 from ..obs.metrics import get_registry
 from ..obs.trace import trace_span
 
@@ -64,7 +64,7 @@ class EmbeddingCache:
             raise ValueError("cache capacity must be >= 1")
         self.capacity = capacity
         self._entries: "OrderedDict[str, np.ndarray]" = OrderedDict()
-        self._lock = threading.Lock()
+        self._lock = new_lock("serve.cache")
         self._hits = 0
         self._misses = 0
 
@@ -73,52 +73,66 @@ class EmbeddingCache:
             return len(self._entries)
 
     def get(self, key: str) -> Optional[np.ndarray]:
-        """The cached embedding for ``key``, or None; counts a hit or miss."""
-        registry = get_registry()
+        """The cached embedding for ``key``, or None; counts a hit or miss.
+
+        The probe, the LRU promotion and the hit/miss tally are one
+        atomic section: a concurrent eviction between lookup and count
+        can never skew the totals or promote a removed key.
+        """
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
                 self._misses += 1
-                registry.counter("serve.cache.misses").inc()
-                return None
-            self._entries.move_to_end(key)
-            self._hits += 1
-            registry.counter("serve.cache.hits").inc()
-            return entry
+            else:
+                self._entries.move_to_end(key)
+                self._hits += 1
+        # Registry mirroring runs outside the cache lock: the counters
+        # take the shared metrics lock, and holding both at once would
+        # put a cross-lock edge on every cache probe for no benefit.
+        if entry is None:
+            get_registry().counter("serve.cache.misses").inc()
+            return None
+        get_registry().counter("serve.cache.hits").inc()
+        return entry
 
     def put(self, key: str, embedding: np.ndarray) -> None:
         """Insert (or refresh) one embedding, evicting LRU entries if full."""
         embedding = np.asarray(embedding, dtype=np.float64)
-        registry = get_registry()
         # Write-back is on the request hot path: attribute it on the
         # request trace when one is active (no-op otherwise).
-        with trace_span("cache-put"), self._lock:
-            self._entries[key] = embedding
-            self._entries.move_to_end(key)
-            while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
-            registry.gauge("serve.cache.size").set(len(self._entries))
+        with trace_span("cache-put"):
+            with self._lock:
+                self._entries[key] = embedding
+                self._entries.move_to_end(key)
+                while len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+                size = len(self._entries)
+            get_registry().gauge("serve.cache.size").set(size)
 
     @property
     def hits(self) -> int:
         """Number of :meth:`get` calls that found an entry."""
-        return self._hits
+        with self._lock:
+            return self._hits
 
     @property
     def misses(self) -> int:
         """Number of :meth:`get` calls that found nothing."""
-        return self._misses
+        with self._lock:
+            return self._misses
 
     @property
     def hit_rate(self) -> float:
         """Fraction of lookups served from cache (0.0 when never probed)."""
-        total = self._hits + self._misses
+        with self._lock:
+            hits, misses = self._hits, self._misses
+        total = hits + misses
         if total == 0:
             return 0.0
-        return self._hits / total
+        return hits / total
 
     def clear(self) -> None:
         """Drop every cached embedding (hit/miss totals are kept)."""
         with self._lock:
             self._entries.clear()
-            get_registry().gauge("serve.cache.size").set(0)
+        get_registry().gauge("serve.cache.size").set(0)

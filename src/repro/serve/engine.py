@@ -32,7 +32,6 @@ request spent its time.
 
 from __future__ import annotations
 
-import threading
 import time
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
@@ -42,6 +41,7 @@ import numpy as np
 
 from ..index.hnsw import HNSWIndex
 from ..metrics import MetricSpec, get_metric, pad_trajectories
+from ..obs.lockstats import new_lock
 from ..obs.metrics import get_registry
 from ..obs.spans import span
 from ..obs.trace import get_tracer, trace_span
@@ -153,7 +153,7 @@ class SimilarityServer:
         )
         # Stored trajectories (by database id) for the degraded exact path.
         self._trajs: List[np.ndarray] = []
-        self._trajs_lock = threading.Lock()
+        self._trajs_lock = new_lock("serve.trajs")
 
     # ------------------------------------------------------------------
     def _encode_batch(self, trajs: Sequence) -> np.ndarray:

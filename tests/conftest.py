@@ -8,6 +8,36 @@ import pytest
 from repro.data import make_geolife_like, make_porto_like, prepare
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--sanitize",
+        action="store_true",
+        default=False,
+        help="run with the runtime lock sanitizer: new_lock()/new_rlock() "
+        "hand out order-checked, metric-reporting lock shims",
+    )
+
+
+def pytest_configure(config):
+    if config.getoption("--sanitize"):
+        # Enable before any test module constructs its locks: the
+        # factories consult the flag at construction time.
+        from repro.obs import lockstats
+
+        lockstats.enable()
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if session.config.getoption("--sanitize"):
+        from repro.obs import lockstats
+
+        cycles = lockstats.get_lockstats().cycles()
+        if cycles and exitstatus == 0:
+            raise pytest.UsageError(
+                f"lock sanitizer observed order cycles: {cycles}"
+            )
+
+
 @pytest.fixture
 def rng():
     return np.random.default_rng(12345)

@@ -1,0 +1,732 @@
+"""Tier-1 tests for the concurrency rule family C001–C006.
+
+Each rule gets at least one positive fixture (a deliberately racy scratch
+tree where the finding is exact) and one negative fixture (the disciplined
+version that must stay clean).  The scope/severity plumbing (``--scope
+concurrency``, ``--fail-on``) and the SARIF severity levels are covered at
+the end.  The model internals (guard inference, the entry-lock fixpoint,
+the lock-order graph) are exercised through the rules, the way the lint
+pass uses them.
+"""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import run_analysis
+from repro.analysis.registry import SCOPE_FAMILIES, rules_in_family
+
+pytestmark = pytest.mark.lint
+
+
+def _write(tmp_path, rel, source):
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+def _report(tmp_path, files, rules=None, scope=None):
+    for rel, source in files.items():
+        _write(tmp_path, "src/" + rel, source)
+    return run_analysis(
+        [tmp_path / "src"], root=tmp_path, rules=rules, scope=scope
+    )
+
+
+# ---------------------------------------------------------------------------
+# C001 — shared mutable state written outside its lock
+# ---------------------------------------------------------------------------
+
+
+class TestC001UnguardedWrites:
+    def test_bare_write_of_guarded_attr_is_flagged(self, tmp_path):
+        report = _report(
+            tmp_path,
+            {
+                "box.py": """\
+                import threading
+
+                class Box:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._items = []
+
+                    def add_item(self, x):
+                        with self._lock:
+                            self._items.append(x)
+
+                    def rogue_reset(self):
+                        self._items = []
+                """
+            },
+            rules=["C001"],
+        )
+        assert len(report.violations) == 1
+        v = report.violations[0]
+        assert v.rule == "C001"
+        assert "_items" in v.message
+        assert v.severity == "error"
+
+    def test_all_writes_under_lock_is_clean(self, tmp_path):
+        report = _report(
+            tmp_path,
+            {
+                "box.py": """\
+                import threading
+
+                class Box:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._items = []
+
+                    def add_item(self, x):
+                        with self._lock:
+                            self._items.append(x)
+
+                    def drain(self):
+                        with self._lock:
+                            self._items = []
+                """
+            },
+            rules=["C001"],
+        )
+        assert report.ok, report.format_text()
+
+    def test_bare_assign_in_lock_owning_class_is_flagged(self, tmp_path):
+        # No inferred guard for _state at all, but the class owns a lock,
+        # so it is thread-shared and the bare assign races.
+        report = _report(
+            tmp_path,
+            {
+                "box.py": """\
+                import threading
+
+                class Box:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._state = 0
+
+                    def poke(self):
+                        self._state = 1
+                """
+            },
+            rules=["C001"],
+        )
+        assert [v.rule for v in report.violations] == ["C001"]
+        assert "thread-shared" in report.violations[0].message
+
+    def test_thread_closure_write_without_lock_is_flagged(self, tmp_path):
+        report = _report(
+            tmp_path,
+            {
+                "pool.py": """\
+                import threading
+
+                def run_workers(n):
+                    results = []
+
+                    def worker():
+                        results.append(1)
+
+                    threads = [
+                        threading.Thread(target=worker, daemon=True)
+                        for _ in range(n)
+                    ]
+                    for t in threads:
+                        t.start()
+                    for t in threads:
+                        t.join()
+                    return results
+                """
+            },
+            rules=["C001"],
+        )
+        assert len(report.violations) == 1
+        assert "worker" in report.violations[0].message
+
+    def test_thread_closure_write_under_local_lock_is_clean(self, tmp_path):
+        report = _report(
+            tmp_path,
+            {
+                "pool.py": """\
+                import threading
+
+                def run_workers(n):
+                    lock = threading.Lock()
+                    results = []
+
+                    def worker():
+                        with lock:
+                            results.append(1)
+
+                    threads = [
+                        threading.Thread(target=worker, daemon=True)
+                        for _ in range(n)
+                    ]
+                    for t in threads:
+                        t.start()
+                    for t in threads:
+                        t.join()
+                    return results
+                """
+            },
+            rules=["C001"],
+        )
+        assert report.ok, report.format_text()
+
+    def test_private_helper_called_under_lock_is_clean(self, tmp_path):
+        # The entry-lock fixpoint: _append_locked is only ever called with
+        # the lock held, so its writes are guarded even though no `with`
+        # appears in its own body.
+        report = _report(
+            tmp_path,
+            {
+                "box.py": """\
+                import threading
+
+                class Box:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._items = []
+
+                    def add_item(self, x):
+                        with self._lock:
+                            self._append_locked(x)
+
+                    def add_pair(self, x, y):
+                        with self._lock:
+                            self._append_locked(x)
+                            self._append_locked(y)
+
+                    def _append_locked(self, x):
+                        self._items.append(x)
+                """
+            },
+            rules=["C001"],
+        )
+        assert report.ok, report.format_text()
+
+    def test_inline_allow_suppresses(self, tmp_path):
+        report = _report(
+            tmp_path,
+            {
+                "box.py": """\
+                import threading
+
+                class Box:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._items = []
+
+                    def add_item(self, x):
+                        with self._lock:
+                            self._items.append(x)
+
+                    def rogue_reset(self):
+                        self._items = []  # lint: allow(C001)
+                """
+            },
+            rules=["C001"],
+        )
+        assert report.ok
+        assert report.suppressed_count == 1
+
+
+# ---------------------------------------------------------------------------
+# C002 — inconsistent guard (bare read of a guarded attribute)
+# ---------------------------------------------------------------------------
+
+
+class TestC002InconsistentGuard:
+    FILES = {
+        "stat.py": """\
+        import threading
+
+        class Stat:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._count = 0
+
+            def bump(self):
+                with self._lock:
+                    self._count += 1
+
+            def peek(self):
+                return self._count
+        """
+    }
+
+    def test_bare_read_is_flagged_as_warning(self, tmp_path):
+        report = _report(tmp_path, self.FILES, rules=["C002"])
+        assert len(report.violations) == 1
+        v = report.violations[0]
+        assert v.rule == "C002"
+        assert v.severity == "warning"
+        assert "_count" in v.message
+
+    def test_read_under_lock_is_clean(self, tmp_path):
+        report = _report(
+            tmp_path,
+            {
+                "stat.py": """\
+                import threading
+
+                class Stat:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._count = 0
+
+                    def bump(self):
+                        with self._lock:
+                            self._count += 1
+
+                    def peek(self):
+                        with self._lock:
+                            return self._count
+                """
+            },
+            rules=["C002"],
+        )
+        assert report.ok, report.format_text()
+
+
+# ---------------------------------------------------------------------------
+# C003 — lock-order cycles and self-deadlocks
+# ---------------------------------------------------------------------------
+
+
+class TestC003LockOrder:
+    def test_opposite_nesting_orders_are_a_cycle(self, tmp_path):
+        report = _report(
+            tmp_path,
+            {
+                "orders.py": """\
+                import threading
+
+                LOCK_A = threading.Lock()
+                LOCK_B = threading.Lock()
+
+                def forward_path():
+                    with LOCK_A:
+                        with LOCK_B:
+                            pass
+
+                def reverse_path():
+                    with LOCK_B:
+                        with LOCK_A:
+                            pass
+                """
+            },
+            rules=["C003"],
+        )
+        assert len(report.violations) == 1
+        assert "cycle" in report.violations[0].message
+        assert "LOCK_A" in report.violations[0].message
+
+    def test_consistent_order_is_clean(self, tmp_path):
+        report = _report(
+            tmp_path,
+            {
+                "orders.py": """\
+                import threading
+
+                LOCK_A = threading.Lock()
+                LOCK_B = threading.Lock()
+
+                def forward_path():
+                    with LOCK_A:
+                        with LOCK_B:
+                            pass
+
+                def also_forward():
+                    with LOCK_A:
+                        with LOCK_B:
+                            pass
+                """
+            },
+            rules=["C003"],
+        )
+        assert report.ok, report.format_text()
+
+    def test_cross_module_cycle_via_imported_lock(self, tmp_path):
+        report = _report(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/a.py": """\
+                import threading
+
+                LOCK_A = threading.Lock()
+
+                def take_a_then_b():
+                    from .b import LOCK_B
+                    with LOCK_A:
+                        with LOCK_B:
+                            pass
+                """,
+                "pkg/b.py": """\
+                import threading
+
+                from .a import LOCK_A
+
+                LOCK_B = threading.Lock()
+
+                def take_b_then_a():
+                    with LOCK_B:
+                        with LOCK_A:
+                            pass
+                """,
+            },
+            rules=["C003"],
+        )
+        assert any("cycle" in v.message for v in report.violations)
+
+    def test_nested_reacquire_of_plain_lock_is_self_deadlock(self, tmp_path):
+        report = _report(
+            tmp_path,
+            {
+                "orders.py": """\
+                import threading
+
+                LOCK = threading.Lock()
+
+                def reenter():
+                    with LOCK:
+                        with LOCK:
+                            pass
+                """
+            },
+            rules=["C003"],
+        )
+        assert len(report.violations) == 1
+        assert "self-deadlock" in report.violations[0].message
+
+    def test_rlock_reentry_is_clean(self, tmp_path):
+        report = _report(
+            tmp_path,
+            {
+                "orders.py": """\
+                import threading
+
+                GUARD = threading.RLock()
+
+                def reenter():
+                    with GUARD:
+                        with GUARD:
+                            pass
+                """
+            },
+            rules=["C003"],
+        )
+        assert report.ok, report.format_text()
+
+    def test_interprocedural_same_lock_call_is_self_deadlock(self, tmp_path):
+        # query_all holds the class lock and calls a helper that takes the
+        # same (non-reentrant) lock again — deadlock through the call graph.
+        report = _report(
+            tmp_path,
+            {
+                "engine.py": """\
+                import threading
+
+                class Engine:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._rows = []
+
+                    def snapshot_rows(self):
+                        with self._lock:
+                            return list(self._rows)
+
+                    def query_all(self):
+                        with self._lock:
+                            return self.snapshot_rows()
+                """
+            },
+            rules=["C003"],
+        )
+        assert len(report.violations) == 1
+        assert "self-deadlock" in report.violations[0].message
+
+
+# ---------------------------------------------------------------------------
+# C004 — blocking call while holding a lock
+# ---------------------------------------------------------------------------
+
+
+class TestC004BlockingUnderLock:
+    def test_sleep_under_lock_is_flagged(self, tmp_path):
+        report = _report(
+            tmp_path,
+            {
+                "slow.py": """\
+                import threading
+                import time
+
+                PACE_LOCK = threading.Lock()
+
+                def paced():
+                    with PACE_LOCK:
+                        time.sleep(0.1)
+                """
+            },
+            rules=["C004"],
+        )
+        assert len(report.violations) == 1
+        assert "time.sleep" in report.violations[0].message
+
+    def test_future_result_under_lock_is_flagged(self, tmp_path):
+        report = _report(
+            tmp_path,
+            {
+                "slow.py": """\
+                import threading
+
+                STATE_LOCK = threading.Lock()
+
+                def wait_under_lock(future):
+                    with STATE_LOCK:
+                        return future.result()
+                """
+            },
+            rules=["C004"],
+        )
+        assert len(report.violations) == 1
+        assert "future wait" in report.violations[0].message
+
+    def test_sleep_outside_lock_is_clean(self, tmp_path):
+        report = _report(
+            tmp_path,
+            {
+                "slow.py": """\
+                import threading
+                import time
+
+                PACE_LOCK = threading.Lock()
+
+                def paced():
+                    with PACE_LOCK:
+                        n = 1
+                    time.sleep(0.1)
+                    return n
+                """
+            },
+            rules=["C004"],
+        )
+        assert report.ok, report.format_text()
+
+
+# ---------------------------------------------------------------------------
+# C005 — non-atomic check-then-act
+# ---------------------------------------------------------------------------
+
+
+class TestC005CheckThenAct:
+    def test_bare_check_then_act_is_flagged(self, tmp_path):
+        report = _report(
+            tmp_path,
+            {
+                "cache.py": """\
+                import threading
+
+                class Cache:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._data = {}
+
+                    def put_locked(self, k, v):
+                        with self._lock:
+                            self._data[k] = v
+
+                    def racy_lookup(self, k):
+                        if k in self._data:
+                            return self._data[k]
+                        return None
+                """
+            },
+            rules=["C005"],
+        )
+        assert len(report.violations) == 1
+        assert "check-then-act" in report.violations[0].message
+        assert "_data" in report.violations[0].message
+
+    def test_check_then_act_inside_lock_is_clean(self, tmp_path):
+        report = _report(
+            tmp_path,
+            {
+                "cache.py": """\
+                import threading
+
+                class Cache:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._data = {}
+
+                    def put_locked(self, k, v):
+                        with self._lock:
+                            self._data[k] = v
+
+                    def atomic_lookup(self, k):
+                        with self._lock:
+                            if k in self._data:
+                                return self._data[k]
+                        return None
+                """
+            },
+            rules=["C005"],
+        )
+        assert report.ok, report.format_text()
+
+
+# ---------------------------------------------------------------------------
+# C006 — thread lifecycle discipline
+# ---------------------------------------------------------------------------
+
+
+class TestC006ThreadDiscipline:
+    def test_loose_thread_is_flagged_as_warning(self, tmp_path):
+        report = _report(
+            tmp_path,
+            {
+                "spawn.py": """\
+                import threading
+
+                def tick():
+                    return None
+
+                def spawn_loose():
+                    t = threading.Thread(target=tick)
+                    t.start()
+                    return t
+                """
+            },
+            rules=["C006"],
+        )
+        assert len(report.violations) == 1
+        assert report.violations[0].severity == "warning"
+
+    def test_daemon_thread_is_clean(self, tmp_path):
+        report = _report(
+            tmp_path,
+            {
+                "spawn.py": """\
+                import threading
+
+                def tick():
+                    return None
+
+                def spawn_daemon():
+                    t = threading.Thread(target=tick, daemon=True)
+                    t.start()
+                    return t
+                """
+            },
+            rules=["C006"],
+        )
+        assert report.ok, report.format_text()
+
+    def test_joined_thread_is_clean(self, tmp_path):
+        report = _report(
+            tmp_path,
+            {
+                "spawn.py": """\
+                import threading
+
+                def tick():
+                    return None
+
+                def spawn_and_join():
+                    t = threading.Thread(target=tick)
+                    t.start()
+                    t.join()
+                """
+            },
+            rules=["C006"],
+        )
+        assert report.ok, report.format_text()
+
+    def test_attr_thread_joined_in_close_is_clean(self, tmp_path):
+        # MicroBatcher shape: the worker is stored on the instance and
+        # joined on the owner's close path, in another method.
+        report = _report(
+            tmp_path,
+            {
+                "owner.py": """\
+                import threading
+
+                class Owner:
+                    def __init__(self):
+                        self._worker = threading.Thread(target=self._run)
+                        self._worker.start()
+
+                    def _run(self):
+                        return None
+
+                    def shutdown(self):
+                        self._worker.join()
+                """
+            },
+            rules=["C006"],
+        )
+        assert report.ok, report.format_text()
+
+
+# ---------------------------------------------------------------------------
+# Scope / severity plumbing
+# ---------------------------------------------------------------------------
+
+RACY = {
+    "stat.py": TestC002InconsistentGuard.FILES["stat.py"],
+}
+
+
+class TestScopeAndSeverity:
+    def test_scope_concurrency_runs_only_c_rules(self, tmp_path):
+        # The fixture has missing docstrings and a bare read; only the
+        # C-family finding may appear under --scope concurrency.
+        report = _report(tmp_path, RACY, scope="concurrency")
+        assert report.violations
+        assert all(v.rule.startswith("C") for v in report.violations)
+
+    def test_scope_families_cover_every_family(self):
+        assert set(SCOPE_FAMILIES) >= {
+            "all",
+            "style",
+            "shapes",
+            "differentiability",
+            "stability",
+            "concurrency",
+        }
+        assert all(r.startswith("C") for r in rules_in_family("concurrency"))
+        with pytest.raises(ValueError):
+            rules_in_family("nonsense")
+
+    def test_fail_on_error_ignores_warnings(self, tmp_path):
+        report = _report(tmp_path, RACY, rules=["C002"])
+        assert report.warning_count == 1
+        assert report.error_count == 0
+        assert report.failing("warning")
+        assert not report.failing("error")
+        with pytest.raises(ValueError):
+            report.failing("pedantic")
+
+    def test_text_report_marks_warnings(self, tmp_path):
+        report = _report(tmp_path, RACY, rules=["C002"])
+        text = report.format_text()
+        assert "[warning]" in text
+        assert "1 warning(s)" in text
+
+    def test_json_report_carries_severity_counts(self, tmp_path):
+        report = _report(tmp_path, RACY, rules=["C002"])
+        data = json.loads(report.to_json())
+        assert data["error_count"] == 0
+        assert data["warning_count"] == 1
+        assert data["violations"][0]["severity"] == "warning"
+
+    def test_sarif_level_follows_severity(self, tmp_path):
+        report = _report(tmp_path, RACY, rules=["C002"])
+        sarif = json.loads(report.to_sarif())
+        results = sarif["runs"][0]["results"]
+        assert results and all(r["level"] == "warning" for r in results)

@@ -1,0 +1,244 @@
+"""Tier-1 tests for the runtime lock sanitizer (``repro.obs.lockstats``).
+
+Covers the factory gating (plain locks when disabled, shims when
+enabled), the per-thread held stacks, the runtime lock-order graph with
+cycle detection that raises *before* blocking, self-deadlock detection
+on non-reentrant re-acquire, RLock depth semantics, and the hold / wait
+/ contention metrics reported through the process registry.
+"""
+
+import threading
+
+import pytest
+
+from repro.obs import get_registry
+from repro.obs.lockstats import (
+    LockOrderError,
+    LockStats,
+    SanitizedLock,
+    SanitizedRLock,
+    disable,
+    enable,
+    get_lockstats,
+    held_lock_names,
+    is_enabled,
+    new_lock,
+    new_rlock,
+)
+
+
+@pytest.fixture
+def sanitized():
+    """Enable the sanitizer for one test; restore state and graph after."""
+    was_enabled = is_enabled()
+    enable()
+    get_lockstats().reset()
+    try:
+        yield get_lockstats()
+    finally:
+        get_lockstats().reset()
+        if not was_enabled:
+            disable()
+
+
+class TestFactories:
+    def test_disabled_factories_return_plain_locks(self):
+        was_enabled = is_enabled()
+        disable()
+        try:
+            lock = new_lock("t.plain")
+            rlock = new_rlock("t.plain_r")
+            assert not isinstance(lock, SanitizedLock)
+            assert not isinstance(rlock, SanitizedRLock)
+            # Plain lock contract still works.
+            with lock, rlock:
+                pass
+        finally:
+            if was_enabled:
+                enable()
+
+    def test_enabled_factories_return_shims(self, sanitized):
+        assert isinstance(new_lock("t.shim"), SanitizedLock)
+        assert isinstance(new_rlock("t.shim_r"), SanitizedRLock)
+
+
+class TestHeldStacks:
+    def test_held_names_track_acquisition_order(self, sanitized):
+        a = new_lock("t.a")
+        b = new_lock("t.b")
+        with a:
+            with b:
+                assert held_lock_names() == ["t.a", "t.b"]
+            assert held_lock_names() == ["t.a"]
+        assert held_lock_names() == []
+
+    def test_stacks_are_per_thread(self, sanitized):
+        lock = new_lock("t.mine")
+        seen = {}
+
+        def other():
+            seen["held"] = held_lock_names()
+
+        with lock:
+            t = threading.Thread(target=other, daemon=True)
+            t.start()
+            t.join()
+        assert seen["held"] == []
+
+    def test_release_without_acquire_raises(self, sanitized):
+        lock = new_lock("t.never")
+        with pytest.raises(RuntimeError, match="not held"):
+            lock.release()
+
+
+class TestOrderChecking:
+    def test_reversed_order_raises_before_blocking(self, sanitized):
+        a = new_lock("t.first")
+        b = new_lock("t.second")
+        with a:
+            with b:
+                pass
+        # Nothing is actually held, so a real deadlock is impossible —
+        # the graph alone must reject the reversed order.
+        with b:
+            with pytest.raises(LockOrderError, match="cycle"):
+                a.acquire()
+        assert held_lock_names() == []
+
+    def test_consistent_order_is_fine(self, sanitized):
+        a = new_lock("t.outer")
+        b = new_lock("t.inner")
+        for _ in range(3):
+            with a:
+                with b:
+                    pass
+        assert sanitized.cycles() == []
+        assert "t.inner" in sanitized.order_graph()["t.outer"]
+
+    def test_nonreentrant_reacquire_raises(self, sanitized):
+        lock = new_lock("t.once")
+        with lock:
+            with pytest.raises(LockOrderError, match="self-deadlock"):
+                lock.acquire()
+
+    def test_rlock_reentry_counts_depth(self, sanitized):
+        lock = new_rlock("t.deep")
+        with lock:
+            with lock:
+                assert held_lock_names() == ["t.deep"]
+            # Inner release must not drop the outer hold.
+            assert held_lock_names() == ["t.deep"]
+        assert held_lock_names() == []
+
+    def test_transitive_cycle_detected(self, sanitized):
+        a = new_lock("t.x")
+        b = new_lock("t.y")
+        c = new_lock("t.z")
+        with a:
+            with b:
+                pass
+        with b:
+            with c:
+                pass
+        with c:
+            with pytest.raises(LockOrderError, match="t.x"):
+                a.acquire()
+
+
+class TestMetrics:
+    def test_acquisitions_and_hold_time_reported(self, sanitized):
+        registry = get_registry()
+        registry.counter("lock.t.counted.acquisitions").reset()
+        lock = new_lock("t.counted")
+        with lock:
+            pass
+        with lock:
+            pass
+        assert registry.counter("lock.t.counted.acquisitions").value == 2
+        hold = registry.histogram("lock.t.counted.hold_seconds")
+        assert hold.count >= 2
+
+    def test_contention_counted_and_wait_timed(self, sanitized):
+        registry = get_registry()
+        registry.counter("lock.t.busy.contended").reset()
+        lock = new_lock("t.busy")
+        ready = threading.Event()
+        release = threading.Event()
+
+        def holder():
+            with lock:
+                ready.set()
+                release.wait(timeout=5.0)
+
+        t = threading.Thread(target=holder, daemon=True)
+        t.start()
+        assert ready.wait(timeout=5.0)
+        # This acquire must block until the holder lets go.
+        got = {"ok": False}
+
+        def contender():
+            with lock:
+                got["ok"] = True
+
+        c = threading.Thread(target=contender, daemon=True)
+        c.start()
+        release.set()
+        c.join(timeout=5.0)
+        t.join(timeout=5.0)
+        assert got["ok"]
+        assert registry.counter("lock.t.busy.contended").value >= 1
+        assert registry.histogram("lock.t.busy.wait_seconds").count >= 1
+
+    def test_nonblocking_acquire_fails_fast_without_contention_count(
+        self, sanitized
+    ):
+        registry = get_registry()
+        registry.counter("lock.t.try.contended").reset()
+        lock = new_lock("t.try")
+        ready = threading.Event()
+        release = threading.Event()
+
+        def holder():
+            with lock:
+                ready.set()
+                release.wait(timeout=5.0)
+
+        t = threading.Thread(target=holder, daemon=True)
+        t.start()
+        assert ready.wait(timeout=5.0)
+        assert lock.acquire(blocking=False) is False
+        release.set()
+        t.join(timeout=5.0)
+        assert registry.counter("lock.t.try.contended").value == 0
+
+
+class TestLockStatsGraph:
+    def test_reset_clears_edges(self):
+        stats = LockStats()
+        stats.check_and_add(["a"], "b")
+        assert stats.order_graph() == {"a": {"b"}, "b": set()}
+        stats.reset()
+        assert stats.order_graph() == {}
+
+    def test_same_name_edges_are_skipped(self):
+        # Two instances may share a display name; ordering between them
+        # is unknowable, so no self-edge is recorded or raised on.
+        stats = LockStats()
+        stats.check_and_add(["dup"], "dup")
+        assert stats.order_graph().get("dup", set()) == set()
+
+    def test_cycles_lists_observed_cycle(self):
+        stats = LockStats()
+        stats.check_and_add(["a"], "b")
+        # Force the reverse edge in directly: check_and_add would raise.
+        stats._edges.setdefault("b", set()).add("a")
+        assert stats.cycles() == [["a", "b"]]
+
+    def test_error_names_the_chain_and_threads(self):
+        stats = LockStats()
+        stats.check_and_add(["a"], "b")
+        with pytest.raises(LockOrderError) as err:
+            stats.check_and_add(["b"], "a")
+        message = str(err.value)
+        assert "b" in message and "a" in message
+        assert "first seen on thread" in message
