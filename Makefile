@@ -1,8 +1,8 @@
 # Convenience targets for the TMN reproduction.
 
 .PHONY: install test lint lint-json lint-concurrency sanitize-test bench \
-	bench-fast bench-json bench-serve bench-check trace-demo verify \
-	regen-golden profile examples clean
+	bench-fast bench-json bench-serve bench-memory bench-check trace-demo \
+	verify regen-golden profile profile-serve examples clean
 
 install:
 	pip install -e .
@@ -50,6 +50,14 @@ bench-serve:
 	REPRO_BENCH_JSON=BENCH_serve.json PYTHONPATH=src \
 		python -m pytest benchmarks/test_serve_throughput.py --benchmark-only
 
+# Memory-budget bench: exact payload-byte audit of the serving structures
+# (store / embedding cache / HNSW index) recorded as BENCH_memory.json —
+# bytes_per_trajectory is the number the compression ROADMAP item is
+# gated on (tight tolerance in repro.obs.benchgate).
+bench-memory:
+	REPRO_BENCH_JSON=BENCH_memory.json PYTHONPATH=src \
+		python -m pytest benchmarks/test_memory_accounting.py --benchmark-only
+
 # Bench-regression gate: diff the checked-in bench trajectories against
 # their committed baselines with per-metric, direction-aware tolerances
 # (see repro.obs.benchgate).  After an intentional perf change, refresh
@@ -59,10 +67,14 @@ bench-check:
 		{ echo "BENCH_results.json not found: run 'make bench-json' first"; exit 2; }
 	@test -f BENCH_serve.json || \
 		{ echo "BENCH_serve.json not found: run 'make bench-serve' first"; exit 2; }
+	@test -f BENCH_memory.json || \
+		{ echo "BENCH_memory.json not found: run 'make bench-memory' first"; exit 2; }
 	PYTHONPATH=src python -m repro.cli bench-diff \
 		BENCH_results.json benchmarks/baselines/BENCH_results.json
 	PYTHONPATH=src python -m repro.cli bench-diff \
 		BENCH_serve.json benchmarks/baselines/BENCH_serve.json
+	PYTHONPATH=src python -m repro.cli bench-diff \
+		BENCH_memory.json benchmarks/baselines/BENCH_memory.json
 
 # Run a small seeded serve workload and print critical-path trees for the
 # slowest request traces (queue-wait vs forward vs index attribution).
@@ -71,8 +83,9 @@ trace-demo:
 
 # The default verification path: lint (all families), the concurrency
 # scope on its own exit gate, tier-1 tests, the sanitized serve subset,
-# and the bench-regression gate.
-verify: lint lint-concurrency test sanitize-test bench-check
+# the bench-regression gate (perf + serve + memory trajectories), and a
+# profile-serve smoke run proving the sampler produces a loadable profile.
+verify: lint lint-concurrency test sanitize-test bench-check profile-serve
 
 # Re-snapshot the golden trainer regression file after an INTENTIONAL
 # numeric change (review the diff before committing it).
@@ -85,6 +98,16 @@ profile:
 	PYTHONPATH=src python -m repro.cli train --kind porto --metric dtw \
 		--model TMN --fast --epochs 1 --profile \
 		--log-json runs/profile.jsonl --out runs/profile-ckpt
+
+# Wall-clock stack-sampler profile of the serving workload (+ an exact
+# DP-metric phase): prints the top-frames table and writes a
+# speedscope-loadable flamegraph (open runs/profile-serve.speedscope.json
+# at https://www.speedscope.app/) plus collapsed stacks for flamegraph.pl.
+profile-serve:
+	@mkdir -p runs
+	PYTHONPATH=src python -m repro.cli profile-serve --queries 150 \
+		--speedscope runs/profile-serve.speedscope.json \
+		--folded runs/profile-serve.folded
 
 examples:
 	python examples/quickstart.py

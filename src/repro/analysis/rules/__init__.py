@@ -10,6 +10,8 @@ Importing this package registers every rule with
 - R005/R006 (:mod:`.api`) — ``__all__`` accuracy and public docstrings;
 - R007 (:mod:`.prints`) — no bare ``print`` in library code;
 - R008 (:mod:`.tracing`) — span/trace objects must be context-managed;
+- R009 (:mod:`.profiling`) — sampler/tracemalloc sessions must be
+  released via ``with`` or a ``finally`` stop;
 - S001 (:mod:`.wiring`) — symbolic layer-dimension checking;
 - D001/D002 (:mod:`.differentiability`) — backward/gradcheck coverage and
   detach-free forward paths, audited over the cross-module call graph;
@@ -27,6 +29,7 @@ from . import (
     dtype,
     mutation,
     prints,
+    profiling,
     rng,
     stability,
     tracing,
@@ -41,6 +44,7 @@ __all__ = [
     "dtype",
     "mutation",
     "prints",
+    "profiling",
     "rng",
     "stability",
     "tracing",

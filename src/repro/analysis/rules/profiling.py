@@ -1,0 +1,210 @@
+"""R009 — profiling sessions must be released via ``with`` or ``finally``.
+
+A :class:`~repro.obs.sampler.StackSampler` left running keeps a daemon
+thread sampling every frame in the process; a
+:class:`~repro.obs.memory.MemoryTracker` (or bare ``tracemalloc.start``)
+left enabled roughly doubles allocation cost *globally* until something
+stops it.  Unlike a leaked span (R008), a leaked profiling session
+corrupts every later measurement in the process — the overhead budget
+the sampler promises (≤5%, DESIGN.md §14) only holds when sessions are
+bounded.
+
+Flagged:
+
+- ``x.start()`` / ``x.enable()`` where ``x`` was assigned from
+  ``StackSampler(...)`` / ``MemoryTracker(...)`` / ``OpProfiler(...)``
+  in the same file, unless the call sits inside a ``try`` whose
+  ``finally`` calls the matching ``x.stop()`` / ``x.disable()``;
+- chained ``StackSampler(...).start()`` (the object is discarded — it
+  can never be stopped);
+- any bare ``tracemalloc.start(...)`` not covered by a ``finally`` with
+  ``tracemalloc.stop()``.
+
+Not flagged: ``with StackSampler(...):`` / ``with MemoryTracker():``
+(the context manager is the preferred form), ``enter_context(...)``
+registrations, and ``# lint: allow(R009)`` escapes for code that owns a
+session across a method boundary (e.g. ``MemoryTracker`` itself).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Set, Tuple
+
+from ..engine import FileContext
+from ..registry import register
+from ..violations import Violation
+
+__all__ = ["check_profiling_sessions"]
+
+#: Classes whose instances own a start/stop (or enable/disable) session.
+_SESSION_CLASSES = {"StackSampler", "MemoryTracker", "OpProfiler"}
+
+#: Method pairs: a *start* call is only safe with its *stop* in a finally.
+_STARTS = {"start", "enable"}
+_STOPS = {"stop", "disable"}
+
+
+def _callee_class(node: ast.expr) -> Optional[str]:
+    """The session class name if ``node`` is a call constructing one."""
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else ""
+        )
+        if name in _SESSION_CLASSES:
+            return name
+    if isinstance(node, ast.IfExp):
+        # ``OpProfiler(...) if flag else None`` and friends.
+        return _callee_class(node.body) or _callee_class(node.orelse)
+    return None
+
+
+def _receiver_key(node: ast.expr) -> Optional[str]:
+    """A stable name for a call receiver: ``sampler`` or ``self._memory``."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _session_vars(tree: ast.AST) -> Dict[str, str]:
+    """Map variable/attribute names to the session class assigned to them."""
+    out: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            value = node.value
+            if value is None:
+                continue
+            cls = _callee_class(value)
+            if cls is None:
+                continue
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                key = _receiver_key(target)
+                if key is not None:
+                    out[key] = cls
+    return out
+
+
+def _is_tracemalloc_start(call: ast.Call) -> bool:
+    func = call.func
+    return (
+        isinstance(func, ast.Attribute)
+        and func.attr == "start"
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "tracemalloc"
+    )
+
+
+def _start_calls(tree: ast.AST, sessions: Dict[str, str]):
+    """Yield ``(call, key)`` for every session-start call in ``tree``.
+
+    ``key`` is the receiver name for tracked variables, the literal
+    ``"tracemalloc"`` for module-level sessions, or ``None`` for a
+    chained constructor call (unstoppable by construction).
+    """
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr not in _STARTS:
+            continue
+        if _is_tracemalloc_start(node):
+            yield node, "tracemalloc"
+            continue
+        if _callee_class(func.value) is not None:
+            yield node, None  # chained Constructor(...).start()
+            continue
+        key = _receiver_key(func.value)
+        if key is not None and key in sessions:
+            yield node, key
+
+
+def _protected_starts(tree: ast.AST, sessions: Dict[str, str]) -> Set[int]:
+    """Ids of start-call nodes released by an enclosing try/finally."""
+    protected: Set[int] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Try) or not node.finalbody:
+            continue
+        stops: Set[str] = set()
+        for final_stmt in node.finalbody:
+            for call in ast.walk(final_stmt):
+                if not isinstance(call, ast.Call):
+                    continue
+                func = call.func
+                if not isinstance(func, ast.Attribute) or func.attr not in _STOPS:
+                    continue
+                if (
+                    func.attr == "stop"
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "tracemalloc"
+                ):
+                    stops.add("tracemalloc")
+                    continue
+                key = _receiver_key(func.value)
+                if key is not None:
+                    stops.add(key)
+        if not stops:
+            continue
+        for body_stmt in node.body:
+            for call, key in _start_calls(body_stmt, sessions):
+                if key is not None and key in stops:
+                    protected.add(id(call))
+    return protected
+
+
+@register(
+    "R009",
+    title="profiling sessions must be stopped via `with` or `finally`",
+    rationale=(
+        "a StackSampler/MemoryTracker/OpProfiler (or bare tracemalloc) "
+        "session started without a guaranteed stop keeps sampling or "
+        "doubling allocation cost for the rest of the process, corrupting "
+        "every later measurement; context-manage the session or pair the "
+        "start with a stop in a finally block"
+    ),
+)
+def check_profiling_sessions(ctx: FileContext) -> Iterator[Violation]:
+    """Flag profiling-session starts with no guaranteed matching stop."""
+    sessions = _session_vars(ctx.tree)
+    protected = _protected_starts(ctx.tree, sessions)
+    seen: Set[Tuple[int, int]] = set()
+    for call, key in _start_calls(ctx.tree, sessions):
+        if id(call) in protected:
+            continue
+        where = (call.lineno, call.col_offset)
+        if where in seen:
+            continue
+        seen.add(where)
+        if key is None:
+            message = (
+                "chained `.start()` on a freshly constructed profiling "
+                "session discards the object — it can never be stopped; "
+                "bind it and use `with`"
+            )
+        elif key == "tracemalloc":
+            message = (
+                "`tracemalloc.start(...)` without `tracemalloc.stop()` in a "
+                "`finally` leaves heap tracing on for the whole process; "
+                "prefer `with MemoryTracker():`"
+            )
+        else:
+            stop = "disable()" if _method_is_enable(call) else "stop()"
+            message = (
+                f"`{key}.{call.func.attr}()` has no matching `{key}.{stop}` "
+                "in a `finally`; use `with` or a try/finally so the session "
+                "is always released"
+            )
+        yield Violation(
+            path=ctx.rel,
+            line=call.lineno,
+            col=call.col_offset,
+            rule="R009",
+            message=message,
+        )
+
+
+def _method_is_enable(call: ast.Call) -> bool:
+    return isinstance(call.func, ast.Attribute) and call.func.attr == "enable"

@@ -9,7 +9,8 @@ Subcommands::
     repro-tmn experiment table2 --dataset porto --metric dtw [--fast]
     repro-tmn report     runs/run.jsonl
     repro-tmn serve-bench --queries 500 --workers 4 [--json] \
-                         [--trace-log traces.jsonl]
+                         [--trace-log traces.jsonl] [--metrics-out m.json]
+    repro-tmn profile-serve --speedscope profile.json [--folded profile.folded]
     repro-tmn metrics    [--demo]
     repro-tmn trace      [traces.jsonl] [--demo] [--top 3]
     repro-tmn bench-diff BENCH_serve.json benchmarks/baselines/BENCH_serve.json \
@@ -25,8 +26,13 @@ encode queue + embedding cache + HNSW top-k) under a worker pool and
 reports throughput against naive one-request-one-forward encoding;
 ``--trace-log`` mirrors every request trace to JSONL for ``trace``.
 ``train --log-json`` persists a JSONL run record (config, seed, per-epoch
-loss/grad-norm/timing) and ``--profile`` times every autograd op;
-``report`` pretty-prints a run record.  ``metrics`` renders the metrics
+loss/grad-norm/timing), ``--profile`` times every autograd op,
+``--sample-hz`` runs the wall-clock stack sampler over the fit and
+``--track-memory`` adds tracemalloc allocation accounting;
+``report`` pretty-prints a run record (profiles render under one
+"hot paths" section).  ``profile-serve`` runs the serving workload plus
+an exact-metric phase under the stack sampler and writes a
+speedscope-loadable flamegraph JSON (https://www.speedscope.app/).  ``metrics`` renders the metrics
 registry in Prometheus exposition format; ``trace`` prints critical-path
 trees for the slowest recorded traces; ``bench-diff`` gates a fresh
 bench JSON against a committed baseline with per-metric tolerances
@@ -99,6 +105,18 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write a JSONL run record (config, seed, per-epoch stats)",
     )
+    train.add_argument(
+        "--sample-hz",
+        type=float,
+        default=None,
+        metavar="HZ",
+        help="run the wall-clock stack sampler over the fit at HZ samples/s",
+    )
+    train.add_argument(
+        "--track-memory",
+        action="store_true",
+        help="tracemalloc allocation accounting per epoch (and per op with --profile)",
+    )
 
     ev = sub.add_parser("evaluate", help="evaluate a checkpoint on a fresh test split")
     ev.add_argument("--checkpoint", required=True)
@@ -154,6 +172,44 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="mirror every request trace to a JSONL file (view: repro-tmn trace)",
+    )
+    serve.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the metrics-registry snapshot as JSON (also on SLO breach)",
+    )
+
+    prof = sub.add_parser(
+        "profile-serve",
+        help="profile the serving workload with the wall-clock stack sampler",
+    )
+    prof.add_argument("--kind", choices=("geolife", "porto"), default="porto")
+    prof.add_argument("--n-db", type=int, default=60, help="indexed trajectories")
+    prof.add_argument("--queries", type=int, default=300, help="cache-miss queries")
+    prof.add_argument("--workers", type=int, default=4, help="caller threads")
+    prof.add_argument("--hz", type=float, default=97.0, help="sampling frequency")
+    prof.add_argument("--seed", type=int, default=0)
+    prof.add_argument(
+        "--exact-pairs",
+        type=int,
+        default=24,
+        help="trajectories in the exact DP-metric phase (0 disables it)",
+    )
+    prof.add_argument(
+        "--speedscope",
+        default=None,
+        metavar="PATH",
+        help="write a speedscope-loadable flamegraph JSON (speedscope.app)",
+    )
+    prof.add_argument(
+        "--folded",
+        default=None,
+        metavar="PATH",
+        help="write collapsed stacks (flamegraph.pl / inferno format)",
+    )
+    prof.add_argument(
+        "--top", type=int, default=12, help="rows in the printed top-frames table"
     )
 
     metrics = sub.add_parser(
@@ -235,7 +291,13 @@ def _cmd_generate(args) -> int:
 
 
 def _cmd_train(args) -> int:
-    from .obs import OpProfiler, RunWriter, format_op_table
+    from .obs import (
+        OpProfiler,
+        RunWriter,
+        StackSampler,
+        format_op_table,
+        format_top_frames,
+    )
 
     scale = _scale(args.fast)
     corpus = load_corpus(args.kind, scale, seed=args.seed)
@@ -254,16 +316,22 @@ def _cmd_train(args) -> int:
             seed=args.seed,
             metric=args.metric,
         )
-    profiler = OpProfiler() if args.profile else None
+    profiler = OpProfiler(track_memory=args.track_memory) if args.profile else None
+    sampler = StackSampler(hz=args.sample_hz) if args.sample_hz else None
     try:
         if profiler is not None:
             profiler.enable()
+        if sampler is not None:
+            sampler.start()
         history = trainer.fit(
             corpus.train_points,
             verbose=True,
             on_epoch=writer.write_epoch if writer else None,
+            track_memory=args.track_memory,
         )
     finally:
+        if sampler is not None:
+            sampler.stop()
         if profiler is not None:
             profiler.disable()
     if writer is not None:
@@ -272,8 +340,15 @@ def _cmd_train(args) -> int:
         writer.finish(
             final_loss=history.final_loss,
             op_profile=profiler.snapshot() if profiler else None,
+            sample_profile=sampler.snapshot() if sampler else None,
             metrics=get_registry().snapshot(),
         )
+    if sampler is not None:
+        print(
+            f"sampled {sampler.samples} stack(s) over {sampler.seconds:.2f}s "
+            f"at {sampler.hz:g} hz:"
+        )
+        print(format_top_frames(sampler.merged_stacks()))
     if profiler is not None:
         print(format_op_table(profiler.snapshot()))
     path = save_model(model, args.out)
@@ -355,12 +430,55 @@ def _cmd_serve_bench(args) -> int:
         deadline_s=deadline,
         traj_len=args.traj_len,
         trace_log=args.trace_log,
+        metrics_out=args.metrics_out,
     )
     if args.json:
         print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
     else:
         print(format_serve_bench(result))
     return 0 if result.dropped == 0 else 1
+
+
+def _cmd_profile_serve(args) -> int:
+    from .data import make_dataset
+    from .metrics import get_metric, pairwise_distance_matrix
+    from .obs import StackSampler, format_top_frames, get_tracer
+    from .serve import format_serve_bench, run_serve_bench
+
+    sampler = StackSampler(hz=args.hz)
+    with sampler:
+        result = run_serve_bench(
+            n_db=args.n_db,
+            n_queries=args.queries,
+            workers=args.workers,
+            kind=args.kind,
+            seed=args.seed,
+            enforce_slos=False,
+        )
+        if args.exact_pairs:
+            # An explicit exact-metric phase: the serving path is
+            # embedding-based, so without this the DP kernels (the very
+            # code ROADMAP 2 wants to optimise) would never appear in
+            # the profile.  Runs under its own trace so its samples are
+            # attributed to the serve.exact-metric phase.
+            exact = make_dataset(args.kind, args.exact_pairs, seed=args.seed)
+            points = [t.points for t in exact]
+            with get_tracer().trace("serve.exact-metric", n=len(points)):
+                pairwise_distance_matrix(points, get_metric("dtw"))
+    print(format_serve_bench(result))
+    print()
+    print(
+        f"profile: {sampler.samples} sample(s) over {sampler.seconds:.2f}s "
+        f"at {args.hz:g} hz"
+    )
+    print(format_top_frames(sampler.merged_stacks(), n=args.top))
+    if args.speedscope:
+        path = sampler.write_speedscope(args.speedscope)
+        print(f"speedscope profile written to {path} (open at speedscope.app)")
+    if args.folded:
+        path = sampler.write_folded(args.folded)
+        print(f"folded stacks written to {path}")
+    return 0 if sampler.samples else 1
 
 
 def _run_demo_workload() -> None:
@@ -490,6 +608,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment": _cmd_experiment,
         "report": _cmd_report,
         "serve-bench": _cmd_serve_bench,
+        "profile-serve": _cmd_profile_serve,
         "metrics": _cmd_metrics,
         "trace": _cmd_trace,
         "bench-diff": _cmd_bench_diff,

@@ -8,6 +8,7 @@ what makes the paper's model comparisons meaningful.
 
 from __future__ import annotations
 
+import contextlib
 import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Union
@@ -18,6 +19,7 @@ from ..autograd import concat
 from ..metrics import MetricSpec, get_metric, pairwise_distance_matrix
 from ..nn import gather_last
 from ..obs.log import get_logger
+from ..obs.memory import MemoryTracker, alloc_span, update_memory_gauges
 from ..obs.metrics import get_registry
 from ..obs.spans import SpanRecorder, diff_totals
 from ..obs.trace import get_tracer, trace_span
@@ -95,6 +97,7 @@ class Trainer:
         distances: Optional[np.ndarray] = None,
         verbose: bool = False,
         on_epoch: Optional[Callable[[dict], None]] = None,
+        track_memory: bool = False,
     ) -> TrainingHistory:
         """Train the model on a trajectory collection.
 
@@ -111,7 +114,29 @@ class Trainer:
             Optional callback receiving one dict per epoch — ``{"epoch",
             "loss", "grad_norm", "seconds", "lr", "spans"}`` — the payload
             :class:`repro.obs.run.RunWriter` persists as a JSONL line.
+            With ``track_memory`` the payload also carries ``alloc_bytes``
+            (the epoch's net Python-heap allocation delta).
+        track_memory:
+            Run the epochs under a tracemalloc
+            :class:`~repro.obs.memory.MemoryTracker` (roughly doubles
+            allocation cost — opt-in, exposed as ``train
+            --track-memory``); each epoch's allocation delta lands in the
+            ``mem.alloc.train.epoch`` histogram.
         """
+        with contextlib.ExitStack() as memory_scope:
+            if track_memory:
+                memory_scope.enter_context(MemoryTracker())
+            return self._fit(
+                train_trajs, distances=distances, verbose=verbose, on_epoch=on_epoch
+            )
+
+    def _fit(
+        self,
+        train_trajs: Sequence,
+        distances: Optional[np.ndarray],
+        verbose: bool,
+        on_epoch: Optional[Callable[[dict], None]],
+    ) -> TrainingHistory:
         points = [t.points if hasattr(t, "points") else np.asarray(t, float) for t in train_trajs]
         if len(points) < self.config.sampling_number + 1:
             raise ValueError(
@@ -147,8 +172,10 @@ class Trainer:
             # One request-scoped trace per epoch: batch child spans (with
             # forward/loss/backward/optimizer grandchildren) make a slow
             # epoch inspectable via `repro-tmn trace`, complementing the
-            # aggregate SpanRecorder totals.
-            with self.spans.span("epoch"), get_tracer().trace(
+            # aggregate SpanRecorder totals.  The alloc span is a no-op
+            # unless fit(track_memory=True) opened a tracemalloc session.
+            epoch_alloc = alloc_span("train.epoch", registry=metrics)
+            with self.spans.span("epoch"), epoch_alloc, get_tracer().trace(
                 "train.epoch",
                 epoch=len(history.epoch_losses) + 1,
                 metric=self.metric.name,
@@ -184,17 +211,20 @@ class Trainer:
                     grad_norm=history.grad_norms[-1],
                     seconds=history.epoch_seconds[-1],
                 )
+            if epoch_alloc.tracked:
+                update_memory_gauges(metrics)
             if on_epoch is not None:
-                on_epoch(
-                    {
-                        "epoch": len(history.epoch_losses),
-                        "loss": history.epoch_losses[-1],
-                        "grad_norm": history.grad_norms[-1],
-                        "seconds": history.epoch_seconds[-1],
-                        "lr": self.optimizer.lr,
-                        "spans": diff_totals(self.spans.totals(), spans_before),
-                    }
-                )
+                payload = {
+                    "epoch": len(history.epoch_losses),
+                    "loss": history.epoch_losses[-1],
+                    "grad_norm": history.grad_norms[-1],
+                    "seconds": history.epoch_seconds[-1],
+                    "lr": self.optimizer.lr,
+                    "spans": diff_totals(self.spans.totals(), spans_before),
+                }
+                if epoch_alloc.tracked:
+                    payload["alloc_bytes"] = epoch_alloc.net_bytes
+                on_epoch(payload)
             if self.config.patience is not None:
                 current = history.epoch_losses[-1]
                 if current < best_loss - self.config.min_delta:

@@ -73,6 +73,23 @@ class HNSWIndex:
         with self._lock:
             return len(self.vectors)
 
+    @property
+    def nbytes(self) -> int:
+        """Exact payload bytes: vector buffers + 8 bytes per graph link.
+
+        Vector data is the numpy buffer size; each neighbour link is
+        accounted as one 8-byte id (what a packed adjacency array would
+        store), deliberately excluding Python container overhead so the
+        number tracks the structure's information content — the figure
+        the bytes-per-trajectory gate compares across compression PRs.
+        """
+        with self._lock:
+            vector_bytes = sum(v.nbytes for v in self.vectors)
+            link_bytes = 8 * sum(
+                len(links) for layer in self._neighbors for links in layer.values()
+            )
+        return vector_bytes + link_bytes
+
     # ------------------------------------------------------------------
     def _distance(self, a: np.ndarray, b: np.ndarray) -> float:
         diff = a - b

@@ -28,7 +28,14 @@ when the measurement layer exists first.  This package provides it:
   ``SanitizedLock``/``SanitizedRLock`` shims behind the ``new_lock`` /
   ``new_rlock`` factories, a runtime lock-order graph that raises on
   observed cycles, and hold/wait/contention metrics per named lock
-  (``REPRO_LOCK_SANITIZE=1`` or ``pytest --sanitize``).
+  (``REPRO_LOCK_SANITIZE=1`` or ``pytest --sanitize``);
+- :mod:`repro.obs.sampler` — background wall-clock stack sampler
+  (``sys._current_frames`` at a configurable hz), per-thread aggregated
+  stack counts with trace-phase attribution, folded + speedscope export
+  (``repro-tmn profile-serve``);
+- :mod:`repro.obs.memory` — memory accounting: RSS/peak-RSS gauges,
+  opt-in tracemalloc allocation spans, and exact byte audits feeding the
+  ``bytes_per_trajectory`` bench gate.
 
 Overhead policy: always-on instrumentation (registry counters, batch-level
 spans, the free-function op guard) must stay under a few hundred
@@ -49,9 +56,20 @@ from .lockstats import (
     new_rlock,
 )
 from .log import Logger, configure, get_logger
+from .memory import (
+    AllocSpan,
+    MemoryTracker,
+    alloc_span,
+    format_memory,
+    peak_rss_bytes,
+    rss_bytes,
+    tracking_active,
+    update_memory_gauges,
+)
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, get_registry
 from .profile import OpProfiler, OpStat, format_op_table
 from .run import RunRecord, RunWriter, format_run, read_run
+from .sampler import StackSampler, format_top_frames, merge_stacks, top_frames
 from .slo import SLO, SLOStatus, SLOViolation, check_slos, evaluate_slos, format_slos
 from .spans import SpanRecorder, default_recorder, diff_totals, format_spans, span
 from .trace import (
@@ -67,6 +85,7 @@ from .trace import (
 )
 
 __all__ = [
+    "AllocSpan",
     "BenchDiff",
     "Counter",
     "Gauge",
@@ -75,6 +94,7 @@ __all__ = [
     "LockOrderError",
     "LockStats",
     "Logger",
+    "MemoryTracker",
     "MetricsRegistry",
     "OpProfiler",
     "OpStat",
@@ -86,8 +106,10 @@ __all__ = [
     "SanitizedLock",
     "SanitizedRLock",
     "SpanRecorder",
+    "StackSampler",
     "Trace",
     "Tracer",
+    "alloc_span",
     "annotate",
     "check_slos",
     "compare_bench",
@@ -97,21 +119,29 @@ __all__ = [
     "default_recorder",
     "diff_totals",
     "evaluate_slos",
+    "format_memory",
     "format_op_table",
     "format_run",
     "format_slos",
     "format_spans",
+    "format_top_frames",
     "format_trace",
     "get_lockstats",
     "get_logger",
     "get_registry",
     "get_tracer",
     "held_lock_names",
+    "merge_stacks",
     "new_lock",
     "new_rlock",
+    "peak_rss_bytes",
     "read_run",
     "read_trace_log",
     "render_exposition",
+    "rss_bytes",
     "span",
+    "top_frames",
     "trace_span",
+    "tracking_active",
+    "update_memory_gauges",
 ]

@@ -68,6 +68,16 @@ _RULES: Tuple[Tuple[re.Pattern, Tolerance], ...] = (
     (re.compile(r"^dropped$"), Tolerance("lower", rel=0.0, abs=0.0)),
     # Degradation may wobble a little under CI load, not systematically.
     (re.compile(r"^degraded$"), Tolerance("lower", rel=0.25, abs=4.0)),
+    # The compression headline: bytes/trajectory is deterministic given a
+    # fixed workload shape, so the band is tight — growth is a regression,
+    # shrinkage (a compression PR landing) is an improvement.
+    (re.compile(r"bytes_per_trajectory"), Tolerance("lower", rel=0.10, abs=64.0)),
+    # Process RSS moves with interpreter state and allocator reuse across
+    # runs; generous one-sided band plus a flat allowance.
+    (re.compile(r"rss_bytes"), Tolerance("lower", rel=0.60, abs=64 * 1024 * 1024)),
+    # Other exact byte audits (store/cache/index payloads): near-
+    # deterministic, modest one-sided band.
+    (re.compile(r"_bytes$"), Tolerance("lower", rel=0.25, abs=4096.0)),
     # Wall-clock timings: machines vary; allow a generous one-sided band.
     (re.compile(r"(^|_)(seconds|latency)(_|$)|_s$|_ms$"), Tolerance("lower", rel=0.75, abs=0.05)),
     # Throughput and speedups may only drop so far.

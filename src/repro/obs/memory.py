@@ -1,0 +1,227 @@
+"""Memory accounting: RSS gauges, opt-in allocation spans, exact byte audits.
+
+The ROADMAP's million-trajectory story ("quantised, memory-mapped
+embedding store") needs a measurement layer before a compression PR can
+claim anything: *Contrast & Compress* (PAPERS.md) frames
+bytes-per-trajectory as the number compression is gated on.  This module
+provides the three tiers of that evidence:
+
+- **Process gauges** — :func:`rss_bytes` / :func:`peak_rss_bytes` read
+  ``/proc/self/status`` (``VmRSS`` / ``VmHWM``) with a ``resource``
+  fallback; :func:`update_memory_gauges` mirrors them into the metrics
+  registry (``mem.rss_bytes``, ``mem.peak_rss_bytes``) so run records,
+  exposition and the SLO monitor all see them.
+- **Allocation spans** — :class:`MemoryTracker` owns an opt-in
+  ``tracemalloc`` session (heavy: ~2x allocation cost while tracing, so
+  never on by default); while one is active, :func:`alloc_span` records
+  net/peak allocation deltas for a named section into
+  ``mem.alloc.<name>`` histograms.  When no tracker is active the span
+  is a no-op, so library code may use it unconditionally.
+- **Exact structure audits** — the serving structures expose ``nbytes``
+  payload accounting (:class:`~repro.serve.cache.EmbeddingCache`,
+  :class:`~repro.index.hnsw.HNSWIndex`) which
+  :meth:`~repro.serve.engine.SimilarityServer.memory_stats` divides into
+  the headline ``bytes_per_trajectory`` gauge the bench gate pins.
+
+Lifecycle: a :class:`MemoryTracker` must be context-managed (or
+stopped in a ``finally``); lint rule R009 flags stray sessions.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+from typing import Dict, Optional
+
+from .metrics import MetricsRegistry, get_registry
+
+__all__ = [
+    "AllocSpan",
+    "MemoryTracker",
+    "alloc_span",
+    "format_memory",
+    "peak_rss_bytes",
+    "rss_bytes",
+    "tracking_active",
+    "update_memory_gauges",
+]
+
+
+def _proc_status_kib(field: str) -> Optional[int]:
+    """One ``kB`` field of ``/proc/self/status`` in bytes, or None."""
+    try:
+        with open("/proc/self/status") as fh:
+            for line in fh:
+                if line.startswith(field + ":"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        return None
+    return None
+
+
+def rss_bytes() -> int:
+    """Current resident set size of this process in bytes.
+
+    Reads ``VmRSS`` from ``/proc/self/status``; on platforms without
+    procfs, falls back to ``ru_maxrss`` (the *peak*, the closest portable
+    proxy — documented so a flat reading off Linux is not misread).
+    """
+    value = _proc_status_kib("VmRSS")
+    if value is not None:
+        return value
+    import resource
+
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+
+
+def peak_rss_bytes() -> int:
+    """Peak resident set size of this process in bytes (``VmHWM``)."""
+    value = _proc_status_kib("VmHWM")
+    if value is not None:
+        return value
+    import resource
+
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+
+
+def update_memory_gauges(registry: Optional[MetricsRegistry] = None) -> Dict[str, int]:
+    """Refresh the process memory gauges; returns the values set.
+
+    Always sets ``mem.rss_bytes`` / ``mem.peak_rss_bytes``; while a
+    tracemalloc session is active, also ``mem.traced_bytes`` /
+    ``mem.traced_peak_bytes`` (Python-heap allocation totals, a strict
+    subset of RSS).
+    """
+    registry = registry if registry is not None else get_registry()
+    values = {"rss_bytes": rss_bytes(), "peak_rss_bytes": peak_rss_bytes()}
+    if tracemalloc.is_tracing():
+        current, peak = tracemalloc.get_traced_memory()
+        values["traced_bytes"] = current
+        values["traced_peak_bytes"] = peak
+    for name, value in values.items():
+        registry.gauge(f"mem.{name}").set(value)
+    return values
+
+
+def tracking_active() -> bool:
+    """Whether a tracemalloc session is live (alloc spans will record)."""
+    return tracemalloc.is_tracing()
+
+
+class MemoryTracker:
+    """Owns one opt-in tracemalloc session; context-manage it.
+
+    Tracing roughly doubles allocation cost, so this is never ambient:
+    ``train --track-memory`` / ``Trainer.fit(track_memory=True)`` turn
+    it on for a bounded scope.  If tracemalloc is already tracing (an
+    outer tracker, or a test harness), enabling is a no-op join — the
+    outer owner keeps the session, so trackers nest safely.
+    """
+
+    def __init__(self, nframes: int = 1):
+        if nframes < 1:
+            raise ValueError("nframes must be >= 1")
+        self._nframes = nframes
+        self._owns_session = False
+        self.enabled = False
+
+    def enable(self) -> None:
+        """Start (or join) the tracemalloc session."""
+        if self.enabled:
+            raise RuntimeError("memory tracker already enabled")
+        if not tracemalloc.is_tracing():
+            # Stopped by disable(); R009's finally/with discipline is the
+            # caller's contract with *this* class, which it satisfies.
+            tracemalloc.start(self._nframes)  # lint: allow(R009)
+            self._owns_session = True
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Stop the session if this tracker started it (idempotent)."""
+        if not self.enabled:
+            return
+        if self._owns_session:
+            tracemalloc.stop()
+            self._owns_session = False
+        self.enabled = False
+
+    def __enter__(self) -> "MemoryTracker":
+        self.enable()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.disable()
+
+
+class AllocSpan:
+    """One measured allocation section (handed out by :func:`alloc_span`).
+
+    Attributes are populated on ``__exit__``: ``net_bytes`` (allocations
+    minus frees over the section, may be negative), ``peak_bytes``
+    (high-water mark above the entry level) and ``tracked`` (False when
+    no tracemalloc session was active — both byte fields stay 0).
+    """
+
+    __slots__ = ("name", "net_bytes", "peak_bytes", "tracked", "_before", "_registry")
+
+    def __init__(self, name: str, registry: Optional[MetricsRegistry]):
+        self.name = name
+        self.net_bytes = 0
+        self.peak_bytes = 0
+        self.tracked = False
+        self._before: Optional[int] = None
+        self._registry = registry
+
+    def __enter__(self) -> "AllocSpan":
+        if tracemalloc.is_tracing():
+            self._before, _ = tracemalloc.get_traced_memory()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._before is None or not tracemalloc.is_tracing():
+            return
+        current, peak = tracemalloc.get_traced_memory()
+        self.net_bytes = current - self._before
+        self.peak_bytes = max(peak - self._before, 0)
+        self.tracked = True
+        registry = self._registry if self._registry is not None else get_registry()
+        registry.histogram(f"mem.alloc.{self.name}").observe(self.net_bytes)
+
+
+def alloc_span(name: str, registry: Optional[MetricsRegistry] = None) -> AllocSpan:
+    """Context manager measuring a section's allocation delta by name.
+
+    A no-op (``tracked=False``) unless a :class:`MemoryTracker` (or any
+    tracemalloc session) is active, so hot paths can wear it
+    permanently; when active, the net delta lands in the
+    ``mem.alloc.<name>`` histogram.
+    """
+    return AllocSpan(name, registry)
+
+
+def format_memory(stats: Dict[str, float]) -> str:
+    """Human-readable one-liner block for a memory-stats dict.
+
+    Accepts the dict shapes produced by :func:`update_memory_gauges` and
+    :meth:`~repro.serve.engine.SimilarityServer.memory_stats`; unknown
+    keys render generically in sorted order.
+    """
+    if not stats:
+        return "(no memory stats)"
+    lines = []
+    for key in sorted(stats):
+        value = stats[key]
+        if key.endswith("bytes_per_trajectory"):
+            lines.append(f"  {key:<24s} {value:12.1f} B/traj")
+        elif key.endswith("_bytes"):
+            lines.append(f"  {key:<24s} {_human_bytes(float(value)):>12s}")
+        else:
+            lines.append(f"  {key:<24s} {value:12g}")
+    return "\n".join(lines)
+
+
+def _human_bytes(value: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(value) < 1024.0 or unit == "GiB":
+            return f"{value:.1f} {unit}"
+        value /= 1024.0
+    return f"{value:.1f} GiB"

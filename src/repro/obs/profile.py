@@ -29,10 +29,12 @@ Usage::
 from __future__ import annotations
 
 import time
+import tracemalloc
 from typing import Dict, List
 
 from ..autograd import tensor as _tensor_mod
 from ..autograd.tensor import Tensor
+from .memory import MemoryTracker
 
 __all__ = ["OpProfiler", "OpStat", "format_op_table"]
 
@@ -73,9 +75,21 @@ _TENSOR_OPS = (
 
 
 class OpStat:
-    """Accumulated profile of one op: calls and forward/backward seconds."""
+    """Accumulated profile of one op: calls, forward/backward seconds, bytes.
 
-    __slots__ = ("name", "calls", "forward_s", "backward_calls", "backward_s")
+    ``total_bytes`` (net Python-heap allocation attributed to the op's
+    forward bodies) stays 0 unless the profiler was built with
+    ``track_memory=True``.
+    """
+
+    __slots__ = (
+        "name",
+        "calls",
+        "forward_s",
+        "backward_calls",
+        "backward_s",
+        "total_bytes",
+    )
 
     def __init__(self, name: str):
         self.name = name
@@ -83,6 +97,7 @@ class OpStat:
         self.forward_s = 0.0
         self.backward_calls = 0
         self.backward_s = 0.0
+        self.total_bytes = 0
 
     def to_dict(self) -> Dict[str, float]:
         """Serialisable snapshot (goes into the run record's ``op_profile``)."""
@@ -91,6 +106,7 @@ class OpStat:
             "forward_s": self.forward_s,
             "backward_calls": self.backward_calls,
             "backward_s": self.backward_s,
+            "total_bytes": self.total_bytes,
         }
 
 
@@ -100,11 +116,19 @@ class OpProfiler:
     Off by default: construct, then either use as a context manager or
     call :meth:`enable`/:meth:`disable` explicitly.  Re-entrant enables
     are rejected — two live profilers would double-patch the class.
+
+    With ``track_memory=True`` the profiler owns a
+    :class:`~repro.obs.memory.MemoryTracker` for its enabled lifetime and
+    attributes each op's net forward-allocation delta to its stat's
+    ``total_bytes`` (tracemalloc roughly doubles allocation cost — the
+    same opt-in economics as the timing patch itself).
     """
 
-    def __init__(self):
+    def __init__(self, track_memory: bool = False):
         self._stats: Dict[str, OpStat] = {}
         self._originals: Dict[str, object] = {}
+        self._memory = MemoryTracker() if track_memory else None
+        self.track_memory = track_memory
         self.enabled = False
 
     # ------------------------------------------------------------------
@@ -118,6 +142,10 @@ class OpProfiler:
             original = getattr(Tensor, name)
             self._originals[name] = original
             setattr(Tensor, name, self._wrap_method(name, original))
+        if self._memory is not None:
+            # Disable() is the paired release; R009's with/finally
+            # discipline is owed by our callers, who hold *us*.
+            self._memory.enable()  # lint: allow(R009)
         _tensor_mod._set_profiler(self)
         self.enabled = True
 
@@ -129,6 +157,8 @@ class OpProfiler:
             setattr(Tensor, name, original)
         self._originals.clear()
         _tensor_mod._set_profiler(None)
+        if self._memory is not None:
+            self._memory.disable()
         self.enabled = False
 
     def __enter__(self) -> "OpProfiler":
@@ -161,9 +191,15 @@ class OpProfiler:
         (also invoked by :func:`repro.autograd.profiled_op`).
         """
         stat = self._stat(name)
+        tracing = self.track_memory and tracemalloc.is_tracing()
+        if tracing:
+            bytes_before, _ = tracemalloc.get_traced_memory()
         start = time.perf_counter()
         out = fn(*args, **kwargs)
         stat.forward_s += time.perf_counter() - start
+        if tracing:
+            bytes_after, _ = tracemalloc.get_traced_memory()
+            stat.total_bytes += bytes_after - bytes_before
         stat.calls += 1
         if isinstance(out, Tensor):
             self._wrap_backward(stat, out)
@@ -199,7 +235,12 @@ class OpProfiler:
 
 
 def format_op_table(snapshot: Dict[str, Dict[str, float]]) -> str:
-    """Render a profiler snapshot as a text table sorted by total time."""
+    """Render a profiler snapshot as a text table sorted by total time.
+
+    A ``total_bytes`` column appears when memory accounting was on (any
+    op carries a nonzero byte total); old snapshots without the field
+    render as before.
+    """
     if not snapshot:
         return "(no ops profiled)"
     rows: List[tuple] = []
@@ -207,13 +248,20 @@ def format_op_table(snapshot: Dict[str, Dict[str, float]]) -> str:
         total = s["forward_s"] + s["backward_s"]
         rows.append((total, name, s))
     rows.sort(reverse=True)
-    lines = [
+    with_bytes = any(s.get("total_bytes", 0) for _, _, s in rows)
+    header = (
         f"{'op':<20s} {'calls':>8s} {'forward_s':>10s} {'bwd_calls':>10s} "
         f"{'backward_s':>11s} {'total_s':>9s}"
-    ]
+    )
+    if with_bytes:
+        header += f" {'total_bytes':>12s}"
+    lines = [header]
     for total, name, s in rows:
-        lines.append(
+        line = (
             f"{name:<20s} {int(s['calls']):>8d} {s['forward_s']:>10.4f} "
             f"{int(s['backward_calls']):>10d} {s['backward_s']:>11.4f} {total:>9.4f}"
         )
+        if with_bytes:
+            line += f" {int(s.get('total_bytes', 0)):>12d}"
+        lines.append(line)
     return "\n".join(lines)

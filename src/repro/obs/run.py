@@ -25,6 +25,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 from .profile import format_op_table
+from .sampler import format_top_frames
 from .spans import format_spans
 
 __all__ = ["RunRecord", "RunWriter", "format_run", "read_run"]
@@ -76,8 +77,13 @@ class RunWriter:
         eval_scores: Optional[Dict[str, float]] = None,
         op_profile: Optional[dict] = None,
         metrics: Optional[dict] = None,
+        sample_profile: Optional[dict] = None,
     ) -> None:
-        """Write the ``run_end`` line and close the file (idempotent)."""
+        """Write the ``run_end`` line and close the file (idempotent).
+
+        ``sample_profile`` is a :meth:`repro.obs.sampler.StackSampler.snapshot`
+        dict (aggregated wall-clock stacks from ``train --sample-hz``).
+        """
         if self._finished:
             return
         self._write(
@@ -86,6 +92,7 @@ class RunWriter:
                 "final_loss": final_loss,
                 "eval": eval_scores,
                 "op_profile": op_profile,
+                "sample_profile": sample_profile,
                 "metrics": metrics,
                 "ts": time.time(),
             }
@@ -195,10 +202,26 @@ def format_run(record: RunRecord) -> str:
             lines.append("")
             lines.append("metrics:")
             lines.extend(metric_lines)
-    if record.final.get("op_profile"):
+    sample_profile = record.final.get("sample_profile")
+    op_profile = record.final.get("op_profile")
+    if sample_profile or op_profile:
+        # One unified section for both profiling views: the wall-clock
+        # sampler (where time went, any code) and the autograd op
+        # profiler (which ops, forward vs backward).
         lines.append("")
-        lines.append("op profile:")
-        lines.append(format_op_table(record.final["op_profile"]))
+        lines.append("hot paths:")
+        if sample_profile:
+            stacks = sample_profile.get("stacks", {})
+            lines.append(
+                f"  sampled stacks ({int(sample_profile.get('samples', 0))} "
+                f"sample(s) at {sample_profile.get('hz', 0.0):g} hz):"
+            )
+            for line in format_top_frames(stacks).splitlines():
+                lines.append(f"  {line}")
+        if op_profile:
+            lines.append("  op profile:")
+            for line in format_op_table(op_profile).splitlines():
+                lines.append(f"  {line}")
     return "\n".join(lines)
 
 

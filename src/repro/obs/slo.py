@@ -19,7 +19,11 @@ Spec kinds:
   ``degraded`` attribute must not exceed ``threshold``;
 - ``"drop_rate"`` — dropped/requests (from explicit ``totals``, since a
   dropped request by definition leaves no complete trace) must not
-  exceed ``threshold``.
+  exceed ``threshold``;
+- ``"gauge_max"`` — the named registry gauge (``metric``) must not
+  exceed ``threshold``; this is how the memory budget
+  (``mem.peak_rss_bytes``, ``serve.store.bytes_per_trajectory``) rides
+  the same enforcement path as latency.
 """
 
 from __future__ import annotations
@@ -29,20 +33,23 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from .metrics import MetricsRegistry, get_registry
 from .trace import Trace, Tracer, get_tracer
 
 __all__ = [
     "DEADLINE_SERVE_SLOS",
+    "DEFAULT_MEMORY_SLOS",
     "DEFAULT_SERVE_SLOS",
     "SLO",
     "SLOStatus",
     "SLOViolation",
+    "assert_slos",
     "check_slos",
     "evaluate_slos",
     "format_slos",
 ]
 
-_KINDS = ("latency", "degraded_rate", "drop_rate")
+_KINDS = ("latency", "degraded_rate", "drop_rate", "gauge_max")
 
 
 @dataclass(frozen=True)
@@ -54,13 +61,17 @@ class SLO:
     name:
         Stable identifier shown in reports.
     kind:
-        One of ``latency``, ``degraded_rate``, ``drop_rate``.
+        One of ``latency``, ``degraded_rate``, ``drop_rate``,
+        ``gauge_max``.
     threshold:
-        Upper bound: seconds for latency, a 0..1 ratio for the rates.
+        Upper bound: seconds for latency, a 0..1 ratio for the rates,
+        the gauge's own unit (bytes, usually) for ``gauge_max``.
     percentile:
         Which latency percentile the bound applies to (latency only).
     trace_name:
-        Which traces the SLO is computed over.
+        Which traces the SLO is computed over (trace kinds only).
+    metric:
+        Which registry gauge the bound applies to (``gauge_max`` only).
     """
 
     name: str
@@ -68,12 +79,15 @@ class SLO:
     threshold: float
     percentile: float = 99.0
     trace_name: str = "serve.topk"
+    metric: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
             raise ValueError(f"unknown SLO kind {self.kind!r} (want one of {_KINDS})")
         if self.threshold < 0:
             raise ValueError("SLO threshold must be >= 0")
+        if self.kind == "gauge_max" and not self.metric:
+            raise ValueError("gauge_max SLOs must name a registry gauge via metric=")
 
 
 @dataclass
@@ -116,16 +130,37 @@ DEADLINE_SERVE_SLOS = (
     SLO(name="drop-rate", kind="drop_rate", threshold=0.0),
 )
 
+#: Memory-budget SLOs over the gauges ``memory_stats`` maintains.  The
+#: per-trajectory ceiling is deliberately loose for today's float64
+#: store (~hundreds of KiB headroom) — it exists to catch unbounded
+#: growth now, and to be *tightened* by the quantised-store ROADMAP PR.
+DEFAULT_MEMORY_SLOS = (
+    SLO(
+        name="peak-rss",
+        kind="gauge_max",
+        threshold=4.0 * 1024**3,
+        metric="mem.peak_rss_bytes",
+    ),
+    SLO(
+        name="bytes-per-trajectory",
+        kind="gauge_max",
+        threshold=512.0 * 1024,
+        metric="serve.store.bytes_per_trajectory",
+    ),
+)
+
 
 def evaluate_slos(
     slos: Sequence[SLO],
     traces: Sequence[Trace],
     totals: Optional[Dict[str, float]] = None,
+    gauges: Optional[Dict[str, float]] = None,
 ) -> List[SLOStatus]:
     """Evaluate each spec over ``traces`` (+ optional request ``totals``).
 
     ``totals`` supplies ``{"requests": n, "dropped": m}`` for drop-rate
-    SLOs; rate SLOs with no data evaluate as ok with ``value=None``.
+    SLOs; ``gauges`` supplies ``{metric_name: value}`` for gauge_max
+    SLOs.  SLOs with no data evaluate as ok with ``value=None``.
     """
     statuses: List[SLOStatus] = []
     by_name: Dict[str, List[Trace]] = {}
@@ -133,7 +168,14 @@ def evaluate_slos(
         by_name.setdefault(trace.name, []).append(trace)
     for slo in slos:
         window = by_name.get(slo.trace_name, [])
-        if slo.kind == "latency":
+        if slo.kind == "gauge_max":
+            value = (gauges or {}).get(slo.metric)
+            if value is None:
+                statuses.append(SLOStatus(slo, None, 0, True))
+                continue
+            value = float(value)
+            statuses.append(SLOStatus(slo, value, 1, value <= slo.threshold))
+        elif slo.kind == "latency":
             durations = [t.duration for t in window]
             if not durations:
                 statuses.append(SLOStatus(slo, None, 0, True))
@@ -166,29 +208,51 @@ def check_slos(
     window: Optional[int] = None,
     totals: Optional[Dict[str, float]] = None,
     strict: bool = False,
+    registry: Optional[MetricsRegistry] = None,
 ) -> List[SLOStatus]:
     """Evaluate ``slos`` over the tracer's recent-trace ring.
 
     ``window`` bounds how many recent traces (per trace name) are
-    considered.  With ``strict=True`` a breached SLO raises
-    :class:`SLOViolation` naming every failure.
+    considered; gauge_max SLOs read their gauges from ``registry``
+    (default: the process registry).  With ``strict=True`` a breached
+    SLO raises :class:`SLOViolation` naming every failure.  Callers
+    that must do cleanup (persist metrics, close resources) before the
+    raise should call with ``strict=False`` and hand the statuses to
+    :func:`assert_slos` afterwards.
     """
     tracer = tracer if tracer is not None else get_tracer()
-    names = {slo.trace_name for slo in slos}
+    names = {slo.trace_name for slo in slos if slo.kind != "gauge_max"}
     traces: List[Trace] = []
     for name in sorted(names):
         traces.extend(tracer.recent(n=window, name=name))
-    statuses = evaluate_slos(slos, traces, totals=totals)
+    gauges: Dict[str, float] = {}
+    metrics = [slo.metric for slo in slos if slo.kind == "gauge_max"]
+    if metrics:
+        reg = registry if registry is not None else get_registry()
+        for metric in metrics:
+            value = reg.gauge(metric).value
+            if value is not None:
+                gauges[metric] = value
+    statuses = evaluate_slos(slos, traces, totals=totals, gauges=gauges)
     if strict:
-        failures = [s for s in statuses if not s.ok]
-        if failures:
-            detail = "; ".join(
-                f"{s.slo.name}: {s.value:.6g} > {s.slo.threshold:.6g} "
-                f"(over {s.samples} sample(s))"
-                for s in failures
-            )
-            raise SLOViolation(f"SLO breach: {detail}")
+        assert_slos(statuses)
     return statuses
+
+
+def assert_slos(statuses: Sequence[SLOStatus]) -> None:
+    """Raise :class:`SLOViolation` naming every breached status (if any).
+
+    The strict half of :func:`check_slos`, split out so callers can
+    evaluate first, persist evidence, and only then raise.
+    """
+    failures = [s for s in statuses if not s.ok]
+    if failures:
+        detail = "; ".join(
+            f"{s.slo.name}: {s.value:.6g} > {s.slo.threshold:.6g} "
+            f"(over {s.samples} sample(s))"
+            for s in failures
+        )
+        raise SLOViolation(f"SLO breach: {detail}")
 
 
 def format_slos(statuses: Sequence[SLOStatus]) -> str:

@@ -304,6 +304,7 @@ class _TraceContext:
         anchor.span_id = ROOT
         self._anchor = anchor
         tracer._stack().append(anchor)
+        tracer._push_phase(self._name)
         return self._trace
 
     def __exit__(self, exc_type, exc, tb) -> None:
@@ -314,6 +315,7 @@ class _TraceContext:
             top = stack.pop()
             if top is self._anchor:
                 break
+        tracer._pop_phase()
         if exc_type is not None:
             self._trace.attrs.setdefault("error", exc_type.__name__)
         tracer._finish(self._trace)
@@ -365,6 +367,10 @@ class Tracer:
         self._ring_size = ring_size
         self._counter = 0
         self._log_file = None
+        #: thread ident -> stack of open root-trace names; the innermost
+        #: one is that thread's current *phase* (read cross-thread by the
+        #: wall-clock sampler to attribute samples to serve.topk etc.).
+        self._phases: Dict[int, List[str]] = {}
         if log_path is not None:
             self.configure(log_path=log_path)
 
@@ -386,6 +392,20 @@ class Tracer:
                 del self._ring[: max(0, len(self._ring) - ring_size)]
 
     # -- internals ------------------------------------------------------
+    def _push_phase(self, name: str) -> None:
+        ident = threading.get_ident()
+        with self._lock:
+            self._phases.setdefault(ident, []).append(name)
+
+    def _pop_phase(self) -> None:
+        ident = threading.get_ident()
+        with self._lock:
+            names = self._phases.get(ident)
+            if names:
+                names.pop()
+            if not names:
+                self._phases.pop(ident, None)
+
     def _stack(self) -> List[TraceSpan]:
         stack = getattr(self._local, "stack", None)
         if stack is None:
@@ -441,6 +461,17 @@ class Tracer:
             top._trace.set(**attrs)
         else:
             top.set(**attrs)
+
+    def active_phases(self) -> Dict[int, str]:
+        """Innermost open root-trace name per thread ident.
+
+        This is the cross-thread join point for the wall-clock sampler
+        (:mod:`repro.obs.sampler`): a sampled stack is attributed to the
+        phase (``serve.topk``, ``train.epoch``, ...) its thread is
+        currently serving.  Threads with no open root trace are absent.
+        """
+        with self._lock:
+            return {ident: names[-1] for ident, names in self._phases.items() if names}
 
     def recent(self, n: Optional[int] = None, name: Optional[str] = None) -> List[Trace]:
         """The most recent finished traces, oldest→newest, newest last.

@@ -17,6 +17,8 @@ feed them into ``BENCH_serve.json`` via ``bench_record``.
 
 from __future__ import annotations
 
+import json
+import os
 import sys
 import threading
 import time
@@ -28,11 +30,14 @@ import numpy as np
 from ..core import TMN, TMNConfig
 from ..data import make_dataset, prepare
 from ..obs.metrics import get_registry
+from ..obs.sampler import StackSampler
 from ..obs.slo import (
     DEADLINE_SERVE_SLOS,
+    DEFAULT_MEMORY_SLOS,
     DEFAULT_SERVE_SLOS,
     SLO,
     SLOStatus,
+    assert_slos,
     check_slos,
     format_slos,
 )
@@ -40,6 +45,10 @@ from ..obs.trace import get_tracer
 from .engine import ServeResult, SimilarityServer
 
 __all__ = ["ServeBenchResult", "run_serve_bench", "format_serve_bench"]
+
+#: Env var naming a fallback metrics-snapshot path for every bench run;
+#: the ``metrics_out`` parameter takes precedence.
+METRICS_ENV = "REPRO_SERVE_METRICS"
 
 
 @dataclass
@@ -60,8 +69,14 @@ class ServeBenchResult:
     latency_p50: float
     latency_p99: float
     batch_size_mean: float
-    #: One status per evaluated SLO (latency / degraded-rate / drop-rate).
+    #: One status per evaluated SLO (latency / degraded-rate / drop-rate
+    #: / memory gauge ceilings).
     slo_statuses: List[SLOStatus] = field(default_factory=list)
+    #: Exact accounted payload bytes per stored trajectory (store +
+    #: cache + index), from ``SimilarityServer.memory_stats``.
+    bytes_per_trajectory: float = 0.0
+    #: Process high-water RSS at the end of the served phase.
+    peak_rss_bytes: float = 0.0
 
     @property
     def slo_ok(self) -> bool:
@@ -101,6 +116,8 @@ class ServeBenchResult:
             "latency_p99": self.latency_p99,
             "batch_size_mean": self.batch_size_mean,
             "slo_failures": float(sum(1 for s in self.slo_statuses if not s.ok)),
+            "bytes_per_trajectory": self.bytes_per_trajectory,
+            "peak_rss_bytes": self.peak_rss_bytes,
         }
 
 
@@ -133,6 +150,8 @@ def run_serve_bench(
     slos: Optional[Sequence[SLO]] = None,
     enforce_slos: bool = True,
     trace_log: Optional[str] = None,
+    sampler: Optional[StackSampler] = None,
+    metrics_out: Optional[str] = None,
 ) -> ServeBenchResult:
     """Run the serving benchmark and return its measurements.
 
@@ -154,6 +173,13 @@ def run_serve_bench(
     :class:`~repro.obs.slo.SLOViolation` — the bench *asserts* the
     serving promises, it does not merely report them.  ``trace_log``
     mirrors every request trace to a JSONL file for ``repro-tmn trace``.
+
+    ``sampler`` (a :class:`~repro.obs.sampler.StackSampler`) is run over
+    the measured phases when given — ``repro-tmn profile-serve`` passes
+    one; a sampler already running stays caller-managed.  ``metrics_out``
+    (or the ``REPRO_SERVE_METRICS`` env var) names a JSON file receiving
+    the registry snapshot; it is written *before* any strict-SLO raise,
+    so a failing run still leaves its evidence on disk.
     """
     rng = np.random.default_rng(seed)
     length_kwargs = {}
@@ -196,7 +222,12 @@ def run_serve_bench(
     # mid-forward (numpy releases the GIL only around large ops).
     switch_before = sys.getswitchinterval()
     sys.setswitchinterval(0.02)
+    # Run the caller's sampler over the measured phases (unless it is
+    # already running, in which case its lifecycle stays with the caller).
+    owns_sampler = sampler is not None and not sampler.running
     try:
+        if owns_sampler:
+            sampler.start()
         server.add_batch(db)
 
         results: List[Optional[ServeResult]] = [None] * n_queries
@@ -240,18 +271,27 @@ def run_serve_bench(
         batch_count = batch_hist.count - batches_before
         batch_requests = batch_hist.total - batch_total_before
         batch_mean = batch_requests / batch_count if batch_count else 0.0
-        # Assert the serving promises over this run's request traces
-        # (the last n_queries serve.topk traces in the ring are ours).
+        # Memory audit after the served phase: sets the serve.*.bytes /
+        # mem.* gauges the gauge_max SLOs below read.
+        memory = server.memory_stats(registry=registry)
+        # Evaluate the serving promises over this run's request traces
+        # (the last n_queries serve.topk traces in the ring are ours),
+        # plus the memory-budget gauges.  Evaluation is non-strict here:
+        # the metrics snapshot must land on disk before any raise, so a
+        # failing run still leaves its evidence behind (assert_slos at
+        # the end turns breaches into the SLOViolation callers expect).
         if slos is None:
             slos = DEADLINE_SERVE_SLOS if deadline_s is not None else DEFAULT_SERVE_SLOS
+            slos = tuple(slos) + tuple(DEFAULT_MEMORY_SLOS)
         slo_statuses = check_slos(
             slos,
             tracer=tracer,
             window=n_queries,
             totals={"requests": float(n_queries), "dropped": float(dropped)},
-            strict=enforce_slos,
+            strict=False,
+            registry=registry,
         )
-        return ServeBenchResult(
+        result = ServeBenchResult(
             n_db=n_db,
             n_queries=n_queries,
             workers=workers,
@@ -269,12 +309,36 @@ def run_serve_bench(
             else 0.0,
             batch_size_mean=batch_mean,
             slo_statuses=list(slo_statuses),
+            bytes_per_trajectory=float(memory["bytes_per_trajectory"]),
+            peak_rss_bytes=float(memory["peak_rss_bytes"]),
         )
+        # Persist the registry snapshot BEFORE enforcing SLOs: a breach
+        # must not cost us the measurements that explain it.
+        _export_metrics(metrics_out, registry)
+        if enforce_slos:
+            assert_slos(slo_statuses)
+        return result
     finally:
+        if owns_sampler:
+            sampler.stop()
         sys.setswitchinterval(switch_before)
         server.close()
         if trace_log is not None:
             tracer.configure(log_path=None)  # flush + close the JSONL log
+
+
+def _export_metrics(metrics_out: Optional[str], registry) -> None:
+    """Write the registry snapshot to ``metrics_out`` or ``$REPRO_SERVE_METRICS``.
+
+    No-op when neither names a path.  Runs on the SLO-violation exit
+    path too, so it must not assume a healthy run.
+    """
+    path = metrics_out if metrics_out is not None else os.environ.get(METRICS_ENV)
+    if not path:
+        return
+    with open(path, "w") as fh:
+        json.dump({"metrics": registry.snapshot()}, fh, indent=2, sort_keys=True)
+        fh.write("\n")
 
 
 def format_serve_bench(result: ServeBenchResult) -> str:
@@ -294,6 +358,8 @@ def format_serve_bench(result: ServeBenchResult) -> str:
         f"  health    completed {result.completed}/{result.n_queries}, "
         f"dropped {result.dropped}, degraded {result.degraded}, "
         f"cache hits {result.cache_hits}",
+        f"  memory    {result.bytes_per_trajectory:,.0f} B/trajectory accounted, "
+        f"peak rss {result.peak_rss_bytes / (1024 * 1024):,.1f} MiB",
     ]
     if result.slo_statuses:
         lines.append(format_slos(result.slo_statuses))

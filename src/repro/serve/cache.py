@@ -110,6 +110,24 @@ class EmbeddingCache:
             get_registry().gauge("serve.cache.size").set(size)
 
     @property
+    def nbytes(self) -> int:
+        """Exact payload bytes held: embedding buffers + key strings.
+
+        Counts the numpy buffer of every cached embedding plus the
+        interpreter size of its digest key — the quantity the memory
+        accounting layer reports, deliberately excluding dict/list
+        container overhead so the number is stable across CPython
+        versions and directly comparable before/after compression.
+        """
+        import sys as _sys
+
+        with self._lock:
+            return sum(
+                value.nbytes + _sys.getsizeof(key)
+                for key, value in self._entries.items()
+            )
+
+    @property
     def hits(self) -> int:
         """Number of :meth:`get` calls that found an entry."""
         with self._lock:

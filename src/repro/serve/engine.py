@@ -384,6 +384,44 @@ class SimilarityServer:
             "cache_hit_rate": self.cache.hit_rate,
         }
 
+    def memory_stats(self, registry=None) -> dict:
+        """Exact bytes held by the serving structures, plus process RSS.
+
+        Audits the three stores the million-trajectory ROADMAP item must
+        shrink — embedding cache, HNSW index, raw trajectory store — and
+        derives the headline ``bytes_per_trajectory`` (accounted payload
+        bytes divided by stored trajectories).  Every figure is mirrored
+        into registry gauges (``serve.*.bytes``,
+        ``serve.store.bytes_per_trajectory``, ``mem.rss_bytes``,
+        ``mem.peak_rss_bytes``) so the SLO monitor and the bench gate
+        read the same numbers this method returns.
+        """
+        from ..obs.memory import update_memory_gauges
+
+        with self._trajs_lock:
+            store_bytes = sum(t.nbytes for t in self._trajs)
+            n_trajs = len(self._trajs)
+        cache_bytes = self.cache.nbytes
+        index_bytes = self.index.nbytes
+        total = store_bytes + cache_bytes + index_bytes
+        per_traj = total / n_trajs if n_trajs else 0.0
+        reg = registry if registry is not None else get_registry()
+        reg.gauge("serve.store.bytes").set(store_bytes)
+        reg.gauge("serve.cache.bytes").set(cache_bytes)
+        reg.gauge("serve.index.bytes").set(index_bytes)
+        reg.gauge("serve.store.bytes_per_trajectory").set(per_traj)
+        process = update_memory_gauges(reg)
+        return {
+            "n_trajectories": n_trajs,
+            "store_bytes": store_bytes,
+            "cache_bytes": cache_bytes,
+            "index_bytes": index_bytes,
+            "total_bytes": total,
+            "bytes_per_trajectory": per_traj,
+            "rss_bytes": process["rss_bytes"],
+            "peak_rss_bytes": process["peak_rss_bytes"],
+        }
+
     def close(self) -> None:
         """Shut down the batcher thread; pending encodes fail cleanly."""
         self.batcher.close()

@@ -41,7 +41,10 @@ class TestRepoIsClean:
         assert report.files_checked > 50
 
     def test_rule_catalogue_complete(self):
-        assert set(RULES) >= {"R001", "R002", "R003", "R004", "R005", "R006", "R007", "S001"}
+        assert set(RULES) >= {
+            "R001", "R002", "R003", "R004", "R005", "R006", "R007", "R008",
+            "R009", "S001",
+        }
         for rule in rule_catalogue():
             assert rule.title and rule.rationale
             assert rule.scope in ("file", "project", "dataflow")
@@ -420,3 +423,121 @@ class TestEntryPoints:
         assert cli_main(["lint", str(bad), "--rules", "R001"]) == 1
         assert cli_main(["lint", str(clean), "--rules", "R001"]) == 0
         capsys.readouterr()
+
+
+class TestProfilingSessionRule:
+    """R009: profiling sessions must be stopped via `with` or `finally`."""
+
+    def test_flags_unmatched_start(self, tmp_path):
+        _write(
+            tmp_path,
+            "mod.py",
+            """\
+            from repro.obs import StackSampler
+
+            def profile():
+                sampler = StackSampler(hz=50)
+                sampler.start()
+                return sampler
+            """,
+        )
+        report = run_analysis([tmp_path], root=tmp_path, rules=["R009"])
+        assert [(v.rule, v.line) for v in report.violations] == [("R009", 5)]
+        assert "sampler.stop()" in report.violations[0].message
+
+    def test_flags_bare_tracemalloc_and_chained_start(self, tmp_path):
+        _write(
+            tmp_path,
+            "mod.py",
+            """\
+            import tracemalloc
+            from repro.obs import StackSampler
+
+            def leak():
+                tracemalloc.start()
+                StackSampler(hz=5).start()
+            """,
+        )
+        report = run_analysis([tmp_path], root=tmp_path, rules=["R009"])
+        assert [(v.rule, v.line) for v in report.violations] == [
+            ("R009", 5),
+            ("R009", 6),
+        ]
+        assert "tracemalloc" in report.violations[0].message
+        assert "chained" in report.violations[1].message
+
+    def test_flags_enable_without_disable(self, tmp_path):
+        _write(
+            tmp_path,
+            "mod.py",
+            """\
+            from repro.obs import MemoryTracker
+
+            def leak():
+                tracker = MemoryTracker()
+                tracker.enable()
+            """,
+        )
+        report = run_analysis([tmp_path], root=tmp_path, rules=["R009"])
+        assert len(report.violations) == 1
+        assert "tracker.disable()" in report.violations[0].message
+
+    def test_try_finally_and_with_are_fine(self, tmp_path):
+        _write(
+            tmp_path,
+            "mod.py",
+            """\
+            import tracemalloc
+            from repro.obs import MemoryTracker, StackSampler
+
+            def guarded():
+                sampler = StackSampler(hz=50)
+                tracker = MemoryTracker()
+                try:
+                    sampler.start()
+                    tracker.enable()
+                    tracemalloc.start()
+                finally:
+                    sampler.stop()
+                    tracker.disable()
+                    tracemalloc.stop()
+
+            def managed():
+                with StackSampler(hz=50) as sampler:
+                    with MemoryTracker():
+                        return sampler.samples
+            """,
+        )
+        assert run_analysis([tmp_path], root=tmp_path, rules=["R009"]).ok
+
+    def test_conditional_constructor_is_tracked(self, tmp_path):
+        _write(
+            tmp_path,
+            "mod.py",
+            """\
+            from repro.obs import OpProfiler
+
+            def maybe(flag):
+                profiler = OpProfiler() if flag else None
+                profiler.enable()
+            """,
+        )
+        report = run_analysis([tmp_path], root=tmp_path, rules=["R009"])
+        assert len(report.violations) == 1
+
+    def test_inline_allow_suppresses(self, tmp_path):
+        _write(
+            tmp_path,
+            "mod.py",
+            """\
+            from repro.obs import StackSampler
+
+            def owner():
+                sampler = StackSampler(hz=50)
+                sampler.start()  # lint: allow(R009)
+                return sampler
+            """,
+        )
+        report = run_analysis([tmp_path], root=tmp_path, rules=["R009"])
+        assert report.ok
+        assert report.suppressed_count == 1

@@ -85,3 +85,86 @@ class TestExperimentFast:
     def test_fig5_fast(self, capsys):
         assert main(["experiment", "fig5", "--metric", "hausdorff", "--fast"]) == 0
         assert "TMN-noSub" in capsys.readouterr().out
+
+
+class TestProfileServe:
+    def test_writes_loadable_speedscope_with_dp_kernels(self, tmp_path, capsys):
+        """The acceptance check: profile-serve emits a speedscope document
+        whose frames include the DP-metric kernels."""
+        import json
+
+        ss = tmp_path / "profile.speedscope.json"
+        folded = tmp_path / "profile.folded"
+        code = main(
+            [
+                "profile-serve",
+                "--n-db",
+                "12",
+                "--queries",
+                "40",
+                "--workers",
+                "2",
+                "--hz",
+                "400",
+                "--exact-pairs",
+                "10",
+                "--speedscope",
+                str(ss),
+                "--folded",
+                str(folded),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serve-bench:" in out
+        assert "profile:" in out and "sample(s)" in out
+        doc = json.loads(ss.read_text())
+        assert doc["$schema"] == "https://www.speedscope.app/file-format-schema.json"
+        assert doc["profiles"], "at least one per-thread profile"
+        labels = {f["name"] for f in doc["shared"]["frames"]}
+        assert any("repro.metrics._dp" in label for label in labels), (
+            "the exact DP-metric phase must surface the kernels"
+        )
+        assert folded.read_text().strip(), "collapsed stacks written"
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["profile-serve"])
+        assert args.command == "profile-serve"
+        assert args.hz == 97.0
+        assert args.exact_pairs == 24
+
+    def test_train_sampler_and_memory_flags(self, tmp_path, capsys):
+        import json
+
+        log = tmp_path / "run.jsonl"
+        code = main(
+            [
+                "train",
+                "--kind",
+                "porto",
+                "--metric",
+                "hausdorff",
+                "--model",
+                "SRN",
+                "--fast",
+                "--epochs",
+                "1",
+                "--sample-hz",
+                "200",
+                "--track-memory",
+                "--profile",
+                "--log-json",
+                str(log),
+                "--out",
+                str(tmp_path / "ckpt"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "total_bytes" in out  # op table gained the memory column
+        records = [json.loads(line) for line in log.read_text().splitlines()]
+        end = next(r for r in records if r.get("event") == "run_end")
+        assert end["sample_profile"]["samples"] >= 0
+        assert "stacks" in end["sample_profile"]
+        epochs = [r for r in records if r.get("event") == "epoch"]
+        assert epochs and all("alloc_bytes" in r for r in epochs)

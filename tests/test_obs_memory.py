@@ -1,0 +1,354 @@
+"""Tests for memory accounting (`repro.obs.memory`) and its gates.
+
+Covers the three accounting tiers (process RSS gauges, opt-in
+tracemalloc allocation spans, exact serving-structure byte audits), the
+``gauge_max`` SLO kind they feed, the benchgate byte tolerances, and
+the two integration points: `Trainer.fit(track_memory=True)` and the
+serve bench persisting its metrics snapshot even on the SLO-violation
+exit path.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.core import TMN, TMNConfig, Trainer
+from repro.metrics import pairwise_distance_matrix
+from repro.obs.benchgate import compare_bench, tolerance_for
+from repro.obs.memory import (
+    AllocSpan,
+    MemoryTracker,
+    alloc_span,
+    format_memory,
+    peak_rss_bytes,
+    rss_bytes,
+    tracking_active,
+    update_memory_gauges,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import OpProfiler
+from repro.obs.slo import (
+    DEFAULT_MEMORY_SLOS,
+    SLO,
+    SLOViolation,
+    assert_slos,
+    check_slos,
+    evaluate_slos,
+)
+from repro.serve.bench import run_serve_bench
+from repro.serve.engine import SimilarityServer
+
+
+class TestProcessGauges:
+    def test_rss_readings_are_sane(self):
+        rss = rss_bytes()
+        peak = peak_rss_bytes()
+        assert rss > 0
+        # The high-water mark can never sit below a current reading
+        # taken before it.
+        assert peak >= rss
+
+    def test_update_memory_gauges_mirrors_into_registry(self):
+        reg = MetricsRegistry()
+        values = update_memory_gauges(reg)
+        assert reg.gauge("mem.rss_bytes").value == values["rss_bytes"]
+        assert reg.gauge("mem.peak_rss_bytes").value == values["peak_rss_bytes"]
+        assert "traced_bytes" not in values  # no tracemalloc session
+
+    def test_traced_gauges_appear_while_tracking(self):
+        reg = MetricsRegistry()
+        with MemoryTracker():
+            values = update_memory_gauges(reg)
+        assert "traced_bytes" in values
+        assert reg.gauge("mem.traced_peak_bytes").value is not None
+
+
+class TestMemoryTracker:
+    def test_context_manager_bounds_the_session(self):
+        assert not tracking_active()
+        with MemoryTracker():
+            assert tracking_active()
+        assert not tracking_active()
+
+    def test_nested_tracker_joins_outer_session(self):
+        with MemoryTracker():
+            with MemoryTracker():
+                assert tracking_active()
+            # The inner tracker joined; the outer still owns the session.
+            assert tracking_active()
+        assert not tracking_active()
+
+    def test_double_enable_rejected_disable_idempotent(self):
+        tracker = MemoryTracker()
+        tracker.enable()
+        try:
+            with pytest.raises(RuntimeError):
+                tracker.enable()
+        finally:
+            tracker.disable()
+        tracker.disable()  # idempotent
+        assert not tracking_active()
+
+    def test_nframes_validation(self):
+        with pytest.raises(ValueError):
+            MemoryTracker(nframes=0)
+
+
+class TestAllocSpan:
+    def test_untracked_span_is_a_noop(self):
+        with alloc_span("unit.noop") as span:
+            _ = [0] * 10_000
+        assert span.tracked is False
+        assert span.net_bytes == 0 and span.peak_bytes == 0
+
+    def test_tracked_span_records_delta_and_histogram(self):
+        reg = MetricsRegistry()
+        with MemoryTracker():
+            with alloc_span("unit.alloc", registry=reg) as span:
+                keep = np.zeros(200_000)  # ~1.6 MB, held across exit
+        assert span.tracked
+        assert span.net_bytes > 1_000_000
+        assert span.peak_bytes >= span.net_bytes
+        assert reg.histogram("mem.alloc.unit.alloc").count == 1
+        del keep
+
+    def test_freed_allocations_can_net_negative(self):
+        ballast = [np.zeros(100_000)]
+        with MemoryTracker():
+            with alloc_span("unit.free") as span:
+                ballast.clear()
+        assert span.tracked
+        assert span.net_bytes < 0
+        assert span.peak_bytes >= 0
+
+    def test_alloc_span_returns_allocspan(self):
+        assert isinstance(alloc_span("unit.type"), AllocSpan)
+
+
+class TestFormatMemory:
+    def test_formats_known_and_unknown_keys(self):
+        text = format_memory(
+            {
+                "rss_bytes": 2048.0,
+                "bytes_per_trajectory": 1746.0,
+                "n_trajectories": 3,
+            }
+        )
+        assert "2.0 KiB" in text
+        assert "1746.0 B/traj" in text
+        assert "n_trajectories" in text
+        assert format_memory({}) == "(no memory stats)"
+
+
+def _tiny_server():
+    model = TMN(TMNConfig(hidden_dim=8, matching=False, seed=0))
+    model.eval()
+    return SimilarityServer(model, dim=model.output_dim, seed=0)
+
+
+class TestServerMemoryStats:
+    def test_gauges_and_audit_agree(self):
+        reg = MetricsRegistry()
+        rng = np.random.default_rng(0)
+        server = _tiny_server()
+        try:
+            server.add_batch([rng.normal(size=(n, 2)) for n in (12, 18)])
+            stats = server.memory_stats(registry=reg)
+        finally:
+            server.close()
+        assert stats["n_trajectories"] == 2
+        assert (
+            reg.gauge("serve.store.bytes_per_trajectory").value
+            == stats["bytes_per_trajectory"]
+        )
+        assert reg.gauge("serve.store.bytes").value == stats["store_bytes"]
+        assert reg.gauge("serve.index.bytes").value == stats["index_bytes"]
+        # The process gauges were refreshed in the same call.
+        assert reg.gauge("mem.rss_bytes").value == stats["rss_bytes"]
+
+    def test_empty_server_reports_zero_per_trajectory(self):
+        server = _tiny_server()
+        try:
+            stats = server.memory_stats(registry=MetricsRegistry())
+        finally:
+            server.close()
+        assert stats["n_trajectories"] == 0
+        assert stats["bytes_per_trajectory"] == 0.0
+
+
+class TestGaugeMaxSLO:
+    def test_requires_metric_name(self):
+        with pytest.raises(ValueError):
+            SLO(name="bad", kind="gauge_max", threshold=1.0)
+
+    def test_evaluate_under_over_and_missing(self):
+        slo = SLO(name="budget", kind="gauge_max", threshold=100.0, metric="m")
+        ok, over, missing = (
+            evaluate_slos([slo], [], gauges={"m": 99.0})[0],
+            evaluate_slos([slo], [], gauges={"m": 101.0})[0],
+            evaluate_slos([slo], [], gauges={})[0],
+        )
+        assert ok.ok and ok.value == 99.0 and ok.samples == 1
+        assert not over.ok and over.value == 101.0
+        assert missing.ok and missing.value is None and missing.samples == 0
+
+    def test_check_slos_reads_registry_gauges(self):
+        reg = MetricsRegistry()
+        reg.gauge("serve.store.bytes_per_trajectory").set(1746.0)
+        reg.gauge("mem.peak_rss_bytes").set(128 * 1024 * 1024)
+        statuses = check_slos(DEFAULT_MEMORY_SLOS, registry=reg)
+        assert [s.ok for s in statuses] == [True, True]
+        assert statuses[1].value == 1746.0
+        # Breach the per-trajectory budget: strict mode raises.
+        reg.gauge("serve.store.bytes_per_trajectory").set(600.0 * 1024)
+        with pytest.raises(SLOViolation, match="bytes-per-trajectory"):
+            check_slos(DEFAULT_MEMORY_SLOS, registry=reg, strict=True)
+
+    def test_assert_slos_passes_clean_statuses(self):
+        reg = MetricsRegistry()
+        reg.gauge("mem.peak_rss_bytes").set(1.0)
+        assert_slos(check_slos(DEFAULT_MEMORY_SLOS, registry=reg))
+
+
+class TestBenchgateByteTolerances:
+    def test_rule_selection(self):
+        bpt = tolerance_for("bytes_per_trajectory")
+        assert bpt.direction == "lower" and bpt.rel == 0.10
+        rss = tolerance_for("peak_rss_bytes")
+        assert rss.direction == "lower" and rss.rel == 0.60
+        store = tolerance_for("store_bytes")
+        assert store.direction == "lower" and store.rel == 0.25
+
+    def _payload(self, bpt, rss):
+        return {
+            "benches": {
+                "benchmarks/test_memory_accounting.py::test_memory_accounting": {
+                    "seconds": 0.5,
+                    "quality": {
+                        "n_db": 40.0,
+                        "bytes_per_trajectory": bpt,
+                        "peak_rss_bytes": rss,
+                    },
+                }
+            }
+        }
+
+    def test_growth_beyond_band_regresses(self):
+        base = self._payload(1746.0, 120e6)
+        grown = self._payload(1746.0 * 1.25, 120e6)
+        diff = compare_bench(grown, base)
+        assert not diff.ok
+        assert [d.metric for d in diff.failures] == ["bytes_per_trajectory"]
+
+    def test_shrinkage_improves_never_fails(self):
+        base = self._payload(1746.0, 120e6)
+        shrunk = self._payload(873.0, 60e6)
+        diff = compare_bench(shrunk, base)
+        assert diff.ok
+        statuses = {d.metric: d.status for d in diff.deltas}
+        assert statuses["bytes_per_trajectory"] == "improved"
+
+    def test_rss_band_absorbs_allocator_noise(self):
+        base = self._payload(1746.0, 120e6)
+        noisy = self._payload(1746.0, 120e6 * 1.4)  # +40% < 60% band
+        assert compare_bench(noisy, base).ok
+
+
+class TestTrainerTracking:
+    def test_track_memory_adds_alloc_bytes_to_epoch_records(self):
+        rng = np.random.default_rng(11)
+        trajs = [rng.normal(size=(int(rng.integers(8, 16)), 2)) for _ in range(12)]
+        distances = pairwise_distance_matrix(trajs, "hausdorff")
+        cfg = TMNConfig(
+            hidden_dim=8, epochs=2, sampling_number=4, batch_anchors=8, seed=0
+        )
+        seen = []
+        trainer = Trainer(TMN(cfg), cfg, metric="hausdorff")
+        trainer.fit(
+            trajs, distances=distances, on_epoch=seen.append, track_memory=True
+        )
+        assert not tracking_active()  # session bounded to fit()
+        assert [r["epoch"] for r in seen] == [1, 2]
+        for record in seen:
+            assert "alloc_bytes" in record
+
+    def test_untracked_fit_omits_alloc_bytes(self):
+        rng = np.random.default_rng(11)
+        trajs = [rng.normal(size=(int(rng.integers(8, 16)), 2)) for _ in range(12)]
+        distances = pairwise_distance_matrix(trajs, "hausdorff")
+        cfg = TMNConfig(
+            hidden_dim=8, epochs=1, sampling_number=4, batch_anchors=8, seed=0
+        )
+        seen = []
+        Trainer(TMN(cfg), cfg, metric="hausdorff").fit(
+            trajs, distances=distances, on_epoch=seen.append
+        )
+        assert all("alloc_bytes" not in r for r in seen)
+
+
+class TestOpProfilerMemory:
+    def test_total_bytes_column_when_tracking(self):
+        with OpProfiler(track_memory=True) as prof:
+            a = Tensor(np.ones((64, 64)), requires_grad=True)
+            b = Tensor(np.ones((64, 64)), requires_grad=True)
+            (a @ b).sum().backward()
+        assert not tracking_active()
+        snap = prof.snapshot()
+        assert snap["__matmul__"]["total_bytes"] > 0
+        from repro.obs.profile import format_op_table
+
+        table = format_op_table(snap)
+        assert "total_bytes" in table
+
+    def test_no_column_without_tracking(self):
+        with OpProfiler() as prof:
+            a = Tensor(np.ones((8, 8)), requires_grad=True)
+            (a + a).sum().backward()
+        snap = prof.snapshot()
+        assert snap["__add__"]["total_bytes"] == 0
+        from repro.obs.profile import format_op_table
+
+        assert "total_bytes" not in format_op_table(snap)
+
+
+class TestBenchMetricsPersistence:
+    def test_metrics_snapshot_survives_slo_violation(self, tmp_path):
+        """A strict-SLO breach must still leave the evidence on disk."""
+        out = tmp_path / "metrics.json"
+        impossible = (
+            SLO(name="impossible-latency", kind="latency", threshold=0.0),
+        )
+        with pytest.raises(SLOViolation, match="impossible-latency"):
+            run_serve_bench(
+                n_db=8,
+                n_queries=12,
+                workers=2,
+                hidden_dim=8,
+                naive_queries=1,
+                seed=0,
+                slos=impossible,
+                metrics_out=str(out),
+            )
+        payload = json.loads(out.read_text())
+        assert "metrics" in payload and payload["metrics"]
+
+    def test_bench_result_carries_memory_figures(self, tmp_path):
+        out = tmp_path / "metrics.json"
+        result = run_serve_bench(
+            n_db=8,
+            n_queries=12,
+            workers=2,
+            hidden_dim=8,
+            naive_queries=1,
+            seed=0,
+            metrics_out=str(out),
+        )
+        assert result.bytes_per_trajectory > 0
+        assert result.peak_rss_bytes > 0
+        assert result.to_dict()["bytes_per_trajectory"] == result.bytes_per_trajectory
+        # Memory SLOs rode along with the serve defaults.
+        names = {s.slo.name for s in result.slo_statuses}
+        assert {"peak-rss", "bytes-per-trajectory"} <= names
+        assert out.exists()

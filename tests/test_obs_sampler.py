@@ -1,0 +1,333 @@
+"""Tests for the wall-clock stack sampler (`repro.obs.sampler`).
+
+Aggregation and the export formats are pinned deterministically through
+the injectable ``frames_fn``/``clock``/``tracer`` hooks (no live thread
+needed); the live-thread tests cover lifecycle, per-thread isolation
+under real concurrency, phase attribution through the tracer, and the
+sampler's headline contract: ≤5% overhead at 50 hz.
+"""
+
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.obs.sampler import (
+    StackSampler,
+    format_top_frames,
+    merge_stacks,
+    top_frames,
+)
+from repro.obs.trace import get_tracer
+
+
+class _Frame:
+    """Stand-in for a real interpreter frame (label + f_back chain)."""
+
+    class _Code:
+        def __init__(self, co_name):
+            self.co_name = co_name
+            self.co_filename = "<fake>"
+
+    def __init__(self, name, module="fake.mod", back=None):
+        self.f_globals = {"__name__": module}
+        self.f_code = self._Code(name)
+        self.f_back = back
+
+
+def _stack(*names, module="fake.mod"):
+    """Build a frame chain; ``names`` are root-first, the leaf is returned."""
+    frame = None
+    for name in names:
+        frame = _Frame(name, module=module, back=frame)
+    return frame
+
+
+class _FakeTracer:
+    def __init__(self, phases=None):
+        self._phases = dict(phases or {})
+
+    def active_phases(self):
+        return dict(self._phases)
+
+
+def _fixed_sampler(frames, phases=None, **kwargs):
+    """A sampler fed a constant frames dict, never started as a thread."""
+    return StackSampler(
+        hz=kwargs.pop("hz", 10.0),
+        clock=kwargs.pop("clock", lambda: 0.0),
+        frames_fn=lambda: dict(frames),
+        tracer=_FakeTracer(phases),
+        **kwargs,
+    )
+
+
+class TestAggregation:
+    def test_deterministic_folded_snapshot(self):
+        sampler = _fixed_sampler({1: _stack("root", "mid", "leaf")})
+        for _ in range(3):
+            assert sampler.sample_once() == 1
+        assert sampler.samples == 3
+        assert sampler.folded() == "fake.mod.root;fake.mod.mid;fake.mod.leaf 3"
+        # Byte-identical on a second identical sampler: no hidden state.
+        other = _fixed_sampler({1: _stack("root", "mid", "leaf")})
+        for _ in range(3):
+            other.sample_once()
+        assert other.folded() == sampler.folded()
+
+    def test_threads_aggregate_separately(self):
+        frames = {
+            1: _stack("root", "alpha"),
+            2: _stack("root", "beta"),
+        }
+        sampler = _fixed_sampler(frames)
+        sampler.sample_once()
+        sampler.sample_once()
+        counts = sampler.counts()
+        assert set(counts) == {1, 2}
+        assert counts[1] == {("fake.mod.root", "fake.mod.alpha"): 2}
+        assert counts[2] == {("fake.mod.root", "fake.mod.beta"): 2}
+        # Merged view keeps the two call paths distinct — never interleaved.
+        merged = sampler.merged_stacks()
+        assert set(merged) == {
+            "fake.mod.root;fake.mod.alpha",
+            "fake.mod.root;fake.mod.beta",
+        }
+
+    def test_phase_becomes_synthetic_root(self):
+        sampler = _fixed_sampler(
+            {1: _stack("handler"), 2: _stack("other")},
+            phases={1: "serve.topk"},
+        )
+        sampler.sample_once()
+        merged = sampler.merged_stacks()
+        assert "serve.topk;fake.mod.handler" in merged
+        assert "fake.mod.other" in merged  # no phase -> no synthetic root
+
+    def test_deep_stacks_truncate_leafward(self):
+        deep = _stack(*[f"f{i}" for i in range(10)])
+        sampler = _fixed_sampler({1: deep}, max_depth=4)
+        sampler.sample_once()
+        (fold,) = sampler.merged_stacks()
+        parts = fold.split(";")
+        assert parts[0] == "<truncated>"
+        # The leaf-most frames survive; the leaf is the last caller built.
+        assert parts[-1] == "fake.mod.f9"
+        assert len(parts) == 5  # <truncated> + max_depth frames
+        assert sampler.snapshot()["truncated"] == 1
+
+    def test_reset_clears_everything(self):
+        sampler = _fixed_sampler({1: _stack("a")})
+        sampler.sample_once()
+        sampler.reset()
+        assert sampler.samples == 0
+        assert sampler.merged_stacks() == {}
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            StackSampler(hz=0)
+        with pytest.raises(ValueError):
+            StackSampler(hz=-5)
+        with pytest.raises(ValueError):
+            StackSampler(max_depth=0)
+
+
+class TestExports:
+    def test_snapshot_is_json_ready(self):
+        sampler = _fixed_sampler({1: _stack("a", "b")})
+        sampler.sample_once()
+        snap = json.loads(json.dumps(sampler.snapshot()))
+        assert snap["hz"] == 10.0
+        assert snap["samples"] == 1
+        assert snap["stacks"] == {"fake.mod.a;fake.mod.b": 1}
+        # A persisted snapshot feeds straight back into the hot-frame table.
+        assert "fake.mod.b" in format_top_frames(snap["stacks"])
+
+    def test_speedscope_document_shape(self):
+        frames = {1: _stack("root", "alpha"), 2: _stack("root", "beta")}
+        sampler = _fixed_sampler(frames)
+        for _ in range(4):
+            sampler.sample_once()
+        doc = sampler.to_speedscope(name="unit test")
+        assert doc["$schema"] == "https://www.speedscope.app/file-format-schema.json"
+        assert doc["name"] == "unit test"
+        labels = [f["name"] for f in doc["shared"]["frames"]]
+        assert set(labels) == {"fake.mod.root", "fake.mod.alpha", "fake.mod.beta"}
+        assert len(doc["profiles"]) == 2
+        for profile in doc["profiles"]:
+            assert profile["type"] == "sampled"
+            assert sum(profile["weights"]) == 4
+            assert profile["endValue"] == 4
+            for sample in profile["samples"]:
+                assert all(0 <= i < len(labels) for i in sample)
+
+    def test_write_speedscope_and_folded(self, tmp_path):
+        sampler = _fixed_sampler({1: _stack("a", "b")})
+        sampler.sample_once()
+        ss = sampler.write_speedscope(tmp_path / "out" / "p.speedscope.json")
+        folded = sampler.write_folded(tmp_path / "out" / "p.folded")
+        doc = json.loads(ss.read_text())
+        assert doc["profiles"] and doc["shared"]["frames"]
+        assert folded.read_text() == "fake.mod.a;fake.mod.b 1\n"
+
+
+class TestTopFrames:
+    def test_self_and_total_counts(self):
+        stacks = {"a;b;c": 3, "a;b": 2, "a;a;c": 1}  # recursion counted once
+        rows = {r["frame"]: r for r in top_frames(stacks)}
+        assert rows["c"]["self"] == 4 and rows["c"]["total"] == 4
+        assert rows["b"]["self"] == 2 and rows["b"]["total"] == 5
+        assert rows["a"]["self"] == 0 and rows["a"]["total"] == 6
+        # Hottest self-time first.
+        assert [r["frame"] for r in top_frames(stacks, n=2)] == ["c", "b"]
+
+    def test_merge_stacks_sums(self):
+        merged = merge_stacks({"a;b": 2}, {"a;b": 3, "c": 1})
+        assert merged == {"a;b": 5, "c": 1}
+
+    def test_format_handles_empty(self):
+        assert format_top_frames({}) == "(no samples recorded)"
+        table = format_top_frames({"a;b": 4})
+        assert "self%" in table and "b" in table
+
+
+def _spin_marker_alpha(stop):
+    while not stop.is_set():
+        sum(i * i for i in range(200))
+
+
+def _spin_marker_beta(stop):
+    while not stop.is_set():
+        sum(i * i for i in range(200))
+
+
+class TestLiveSampling:
+    def test_lifecycle(self):
+        sampler = StackSampler(hz=200.0)
+        assert not sampler.running
+        with sampler as s:
+            assert s is sampler
+            assert sampler.running
+            with pytest.raises(RuntimeError):
+                sampler.start()
+            deadline = time.perf_counter() + 2.0
+            while sampler.samples == 0 and time.perf_counter() < deadline:
+                time.sleep(0.005)
+        assert not sampler.running
+        sampler.stop()  # idempotent
+        assert sampler.samples > 0
+        assert sampler.seconds > 0
+        # The sampler never samples its own loop.
+        assert not any(
+            "sampler._loop" in fold for fold in sampler.merged_stacks()
+        )
+
+    def test_per_thread_stacks_never_interleave(self):
+        """Two live worker stacks must never merge into one call path."""
+        stop = threading.Event()
+        workers = [
+            threading.Thread(target=_spin_marker_alpha, args=(stop,), daemon=True),
+            threading.Thread(target=_spin_marker_beta, args=(stop,), daemon=True),
+        ]
+        sampler = StackSampler(hz=400.0)
+        try:
+            with sampler:
+                for w in workers:
+                    w.start()
+                deadline = time.perf_counter() + 3.0
+                while time.perf_counter() < deadline:
+                    merged = sampler.merged_stacks()
+                    if (
+                        any("_spin_marker_alpha" in f for f in merged)
+                        and any("_spin_marker_beta" in f for f in merged)
+                    ):
+                        break
+                    time.sleep(0.01)
+        finally:
+            stop.set()
+            for w in workers:
+                w.join()
+        counts = sampler.counts()
+        hits = {"alpha": 0, "beta": 0}
+        for stacks in counts.values():
+            for stack in stacks:
+                fold = ";".join(stack)
+                has_a = "_spin_marker_alpha" in fold
+                has_b = "_spin_marker_beta" in fold
+                assert not (has_a and has_b), f"interleaved stack: {fold}"
+                hits["alpha"] += has_a
+                hits["beta"] += has_b
+        assert hits["alpha"] and hits["beta"], "both workers must be sampled"
+        # And per thread ident: one worker's marker never shows up under
+        # the other worker's aggregation bucket.
+        for stacks in counts.values():
+            markers = {
+                marker
+                for stack in stacks
+                for marker in ("_spin_marker_alpha", "_spin_marker_beta")
+                if any(marker in frame for frame in stack)
+            }
+            assert len(markers) <= 1
+
+    def test_live_phase_attribution(self):
+        """Samples taken inside an open root trace carry its name as root."""
+        tracer = get_tracer()
+        sampler = StackSampler(hz=500.0)
+        with sampler:
+            deadline = time.perf_counter() + 3.0
+            attributed = False
+            while time.perf_counter() < deadline and not attributed:
+                with tracer.trace("train.epoch"):
+                    t0 = time.perf_counter()
+                    while time.perf_counter() - t0 < 0.05:
+                        sum(i * i for i in range(500))
+                attributed = any(
+                    fold.startswith("train.epoch;")
+                    for fold in sampler.merged_stacks()
+                )
+        assert attributed
+
+
+def _overhead_workload():
+    rng = np.random.default_rng(0)
+    acc = 0.0
+    for _ in range(30):
+        x = rng.normal(size=(120, 120))
+        acc += float(np.linalg.eigvalsh(x @ x.T)[0])
+    return acc
+
+
+class TestOverhead:
+    def test_sampling_overhead_within_budget_at_50hz(self):
+        """The headline contract: ≤5% wall-clock overhead at 50 hz.
+
+        Min-of-N on both sides de-noises scheduler jitter (the *minimum*
+        is the run with the least interference, which is what overhead
+        must be measured against); a small absolute slack keeps the
+        assertion meaningful but unflaky on loaded CI machines.
+        """
+        repeats = 3
+        _overhead_workload()  # warm numpy/BLAS before timing anything
+
+        plain = min(
+            _timed(_overhead_workload) for _ in range(repeats)
+        )
+        sampled_times = []
+        sampler = StackSampler(hz=50.0)
+        with sampler:
+            for _ in range(repeats):
+                sampled_times.append(_timed(_overhead_workload))
+        assert sampler.samples > 0, "sampler must actually run during the workload"
+        sampled = min(sampled_times)
+        assert sampled <= plain * 1.05 + 0.030, (
+            f"sampling overhead over budget: plain {plain:.4f}s, "
+            f"sampled {sampled:.4f}s"
+        )
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
