@@ -1,8 +1,9 @@
 # Convenience targets for the TMN reproduction.
 
-.PHONY: install test lint lint-json lint-concurrency sanitize-test bench \
-	bench-fast bench-json bench-serve bench-memory bench-check trace-demo \
-	verify regen-golden profile profile-serve examples clean
+.PHONY: install test lint lint-json lint-concurrency lint-exceptions \
+	sanitize-test bench bench-fast bench-json bench-serve bench-memory \
+	bench-check trace-demo verify regen-golden profile profile-serve \
+	examples clean
 
 install:
 	pip install -e .
@@ -10,13 +11,21 @@ install:
 test:
 	pytest tests/
 
+# All rule families; warning-severity findings (E002/E003/C002/C006) are
+# reported but only error-severity ones break the build.
 lint:
-	PYTHONPATH=src python -m repro.analysis src
+	PYTHONPATH=src python -m repro.analysis src --fail-on error
 
 # Concurrency rule family only (C001–C006): lock-guard discipline,
 # lock-order deadlock detection and thread hygiene over the serve tier.
 lint-concurrency:
 	PYTHONPATH=src python -m repro.analysis src --scope concurrency
+
+# Exception-flow rule family only (E001–E006): verifies the never-raises
+# serving contract interprocedurally and the except-hygiene rules; gates
+# on warnings too, so every E-finding needs a fix or a justified allow.
+lint-exceptions:
+	PYTHONPATH=src python -m repro.analysis src --scope exception
 
 # Tier-1 concurrency-sensitive suites under the runtime lock sanitizer:
 # new_lock()/new_rlock() hand out order-checked shims that raise on any
@@ -82,10 +91,11 @@ trace-demo:
 	PYTHONPATH=src python -m repro.cli trace --demo --top 3
 
 # The default verification path: lint (all families), the concurrency
-# scope on its own exit gate, tier-1 tests, the sanitized serve subset,
-# the bench-regression gate (perf + serve + memory trajectories), and a
-# profile-serve smoke run proving the sampler produces a loadable profile.
-verify: lint lint-concurrency test sanitize-test bench-check profile-serve
+# and exception scopes on their own exit gates, tier-1 tests, the
+# sanitized serve subset, the bench-regression gate (perf + serve +
+# memory trajectories), and a profile-serve smoke run proving the
+# sampler produces a loadable profile.
+verify: lint lint-concurrency lint-exceptions test sanitize-test bench-check profile-serve
 
 # Re-snapshot the golden trainer regression file after an INTENTIONAL
 # numeric change (review the diff before committing it).

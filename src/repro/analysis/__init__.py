@@ -28,6 +28,12 @@ C003      lock-order cycles / non-reentrant self-deadlock, cross-module
 C004      blocking call (forward, queue/future wait, sleep) under a lock
 C005      non-atomic check-then-act on shared state outside the guard
 C006      ``threading.Thread`` without daemon= or join/close discipline
+E001      ``# contract: never-raises`` function has an escaping exception
+E002      ``except`` clause broader than what the body can raise
+E003      swallowed exception — no re-raise, sentinel or obs logger call
+E004      ``raise`` inside ``finally``/``__exit__`` masks in-flight errors
+E005      exception constructed but never raised (bare ``ValueError(...)``)
+E006      lock ``.acquire()`` without an exception-safe ``release()``
 ========  ==============================================================
 
 The D-rules and S001 run on the cross-module dataflow index built by
@@ -47,7 +53,7 @@ family name) restricts the run to one rule family, and ``--fail-on
 
 from .baseline import Baseline, Suppression, load_baseline, write_baseline
 from .engine import AnalysisReport, FileContext, ProjectContext, run_analysis
-from .registry import RULES, Rule, register, rule_catalogue
+from .registry import RULES, Rule, format_rule_table, register, rule_catalogue
 from .shapes import LayerSpec, SymDim, check_module_wiring
 from .violations import Violation, format_text, sort_violations
 
@@ -63,6 +69,7 @@ __all__ = [
     "SymDim",
     "Violation",
     "check_module_wiring",
+    "format_rule_table",
     "format_text",
     "load_baseline",
     "main",
@@ -112,8 +119,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     if args.list_rules:
-        for rule in rule_catalogue():
-            print(f"{rule.rule_id}  {rule.title}\n      {rule.rationale}")
+        print(format_rule_table())
         return 0
 
     selected = [r.strip() for r in args.rules.split(",")] if args.rules else None

@@ -282,7 +282,7 @@ def run_analysis(
                         path=rel,
                         line=exc.lineno or 1,
                         col=(exc.offset or 1) - 1,
-                        rule="E001",
+                        rule="P000",
                         message=f"file does not parse: {exc.msg}",
                     )
                 )

@@ -26,6 +26,8 @@ __all__ = [
     "Rule",
     "RULES",
     "SCOPE_FAMILIES",
+    "FAMILY_NAMES",
+    "format_rule_table",
     "register",
     "rule_catalogue",
     "rules_in_family",
@@ -40,6 +42,15 @@ SCOPE_FAMILIES: Dict[str, tuple] = {
     "differentiability": ("D",),
     "stability": ("N",),
     "concurrency": ("C",),
+    "exception": ("E",),
+}
+
+#: Rule-id prefix -> human family name (the inverse of SCOPE_FAMILIES,
+#: used by ``--list-rules`` and the SARIF exporter).
+FAMILY_NAMES: Dict[str, str] = {
+    prefix: scope
+    for scope, prefixes in SCOPE_FAMILIES.items()
+    for prefix in prefixes
 }
 
 
@@ -52,17 +63,31 @@ class Rule:
     rationale: str
     scope: str  # "file", "project" or "dataflow"
     check: Callable[..., Iterable] = field(compare=False)
+    severity: str = "error"  # default finding severity: "error" or "warning"
 
     def __post_init__(self) -> None:
         if self.scope not in ("file", "project", "dataflow"):
             raise ValueError(f"unknown rule scope {self.scope!r}")
+        if self.severity not in ("error", "warning"):
+            raise ValueError(f"unknown rule severity {self.severity!r}")
+
+    @property
+    def family(self) -> str:
+        """Family name of this rule (``concurrency`` for C00x, …)."""
+        return FAMILY_NAMES.get(self.rule_id[:1], "misc")
 
 
 #: Catalogue of every registered rule, keyed by rule id.
 RULES: Dict[str, Rule] = {}
 
 
-def register(rule_id: str, title: str, rationale: str, scope: str = "file"):
+def register(
+    rule_id: str,
+    title: str,
+    rationale: str,
+    scope: str = "file",
+    severity: str = "error",
+):
     """Class/function decorator that adds a checker to :data:`RULES`.
 
     The decorated callable keeps working as-is; registration is a side
@@ -72,10 +97,32 @@ def register(rule_id: str, title: str, rationale: str, scope: str = "file"):
     def wrap(check: Callable[..., Iterable]) -> Callable[..., Iterable]:
         if rule_id in RULES:
             raise ValueError(f"duplicate rule id {rule_id}")
-        RULES[rule_id] = Rule(rule_id, title, rationale, scope, check)
+        RULES[rule_id] = Rule(rule_id, title, rationale, scope, check, severity)
         return check
 
     return wrap
+
+
+def format_rule_table() -> str:
+    """The full rule catalogue as an aligned text table.
+
+    One row per registered rule — id, family, severity and the one-line
+    title — generated from :data:`RULES` so ``--list-rules`` output can
+    never drift from what the engine actually runs (the hand-maintained
+    tables in README/DESIGN are checked against this).
+    """
+    rows = [("rule", "family", "severity", "title")]
+    for rule in rule_catalogue():
+        rows.append((rule.rule_id, rule.family, rule.severity, rule.title))
+    widths = [max(len(row[i]) for row in rows) for i in range(3)]
+    lines = []
+    for row in rows:
+        lines.append(
+            "  ".join(col.ljust(widths[i]) for i, col in enumerate(row[:3]))
+            + "  "
+            + row[3]
+        )
+    return "\n".join(lines)
 
 
 def rule_catalogue() -> List[Rule]:

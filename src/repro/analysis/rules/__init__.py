@@ -18,7 +18,10 @@ Importing this package registers every rule with
 - N001–N004 (:mod:`.stability`) — numerical-stability guards for
   exp/log/sqrt/normalising divisions and float equality;
 - C001–C006 (:mod:`.concurrency`) — lock-guard discipline, lock-order
-  deadlock detection and thread hygiene over the serve tier.
+  deadlock detection and thread hygiene over the serve tier;
+- E001–E006 (:mod:`.exceptions`) — interprocedural exception flow: the
+  never-raises serving contract, over-broad/dead handlers, swallowed
+  exceptions, raising cleanup paths and exception-unsafe lock release.
 """
 
 from . import (
@@ -27,6 +30,7 @@ from . import (
     coverage,
     differentiability,
     dtype,
+    exceptions,
     mutation,
     prints,
     profiling,
@@ -42,6 +46,7 @@ __all__ = [
     "coverage",
     "differentiability",
     "dtype",
+    "exceptions",
     "mutation",
     "prints",
     "profiling",

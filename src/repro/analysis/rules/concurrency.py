@@ -152,6 +152,7 @@ def check_unguarded_writes(
         "the bare read is benign."
     ),
     scope="dataflow",
+    severity="warning",
 )
 def check_inconsistent_guard(
     project: ProjectContext, flow: ProjectDataflow
@@ -302,6 +303,7 @@ def check_check_then_act(
         "on the owner's close path."
     ),
     scope="dataflow",
+    severity="warning",
 )
 def check_thread_discipline(
     project: ProjectContext, flow: ProjectDataflow

@@ -1,0 +1,387 @@
+"""E001–E006: exception-flow discipline over the may-raise model.
+
+These rules run on the :class:`~repro.analysis.exceptions.ExceptionModel`
+built over the project dataflow index (see that module for the escape
+computation they share):
+
+- **E001** — a function annotated ``# contract: never-raises`` has a
+  non-empty escaping-exception set; the finding message carries the full
+  propagation chain (callee path plus the originating raise site);
+- **E002** — an ``except`` clause broader than what the guarded body can
+  raise: bare ``except:``/``except BaseException`` without a re-raise
+  (swallows ``KeyboardInterrupt``/``SystemExit``), or a narrow handler
+  for an exception the fully-resolved body provably never raises
+  (warning);
+- **E003** — swallowed exception: a broad handler whose body neither
+  re-raises, returns a sentinel, nor records the failure through the obs
+  logger (warning — the blast-radius bugs the fault suite hunts
+  dynamically, caught at lint time);
+- **E004** — ``raise`` inside ``finally`` or inside ``__exit__``
+  cleanup, masking the in-flight exception;
+- **E005** — an exception constructed but never raised
+  (``ValueError(...)`` as a bare statement);
+- **E006** — a lock ``.acquire()`` whose matching ``.release()`` is not
+  exception-safe (not in a ``finally``): one raise in between leaks the
+  lock.  Joins the :class:`~repro.analysis.concurrency.ConcurrencyModel`
+  lock tables so E and C findings name the same lock ids.
+
+``# lint: allow(Exxx)`` suppresses a finding inline; the lock-shim
+module (:data:`~repro.analysis.concurrency.LOCK_IMPL_MODULES`) is exempt
+from E006 because raw acquire/release *is* its job.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from ..concurrency import LOCK_IMPL_MODULES, build_model
+from ..dataflow import ProjectDataflow, _dotted
+from ..engine import ProjectContext
+from ..exceptions import EFunc, build_exception_model
+from ..registry import register
+from ..violations import Violation
+
+__all__ = [
+    "check_never_raises_contracts",
+    "check_overbroad_handlers",
+    "check_swallowed_exceptions",
+    "check_raise_in_cleanup",
+    "check_unraised_exceptions",
+    "check_unsafe_lock_release",
+]
+
+
+def _violation(
+    path: str, node: ast.AST, rule: str, message: str, severity: str = "error"
+) -> Violation:
+    return Violation(
+        path=path,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0),
+        rule=rule,
+        message=message,
+        severity=severity,
+    )
+
+
+def _handler_label(names: Optional[List[str]]) -> str:
+    if names is None:
+        return "bare except:"
+    return "except " + ("(" + ", ".join(names) + ")" if len(names) > 1 else names[0])
+
+
+@register(
+    "E001",
+    title="never-raises contract violated: an exception can escape",
+    rationale=(
+        "The serving tier promises callers a degraded answer, never an "
+        "exception; any raise reachable from a contracted function voids "
+        "that silently.  Narrow the escape path or catch it at the root."
+    ),
+    scope="dataflow",
+)
+def check_never_raises_contracts(
+    project: ProjectContext, flow: ProjectDataflow
+) -> Iterator[Violation]:
+    """Flag every exception escaping a ``# contract: never-raises`` function."""
+    model = build_exception_model(flow)
+    for fn in model.contracts:
+        for esc in sorted(
+            model.escapes.get(fn.key, ()),
+            key=lambda e: (e.origin_module, e.origin_line, e.exc),
+        ):
+            chain = " -> ".join(esc.chain) if esc.chain else fn.qualname
+            yield _violation(
+                esc.origin_module,
+                _Site(esc.origin_line),
+                "E001",
+                f"`{fn.qualname}` ({fn.module_rel}:{fn.node.lineno}) is marked "
+                f"'# contract: never-raises' but {esc.exc} can escape via "
+                f"{chain}; origin: {esc.origin_desc} at "
+                f"{esc.origin_module}:{esc.origin_line}",
+            )
+
+
+class _Site:
+    """Minimal node stand-in carrying a line for :func:`_violation`."""
+
+    def __init__(self, lineno: int, col_offset: int = 0) -> None:
+        self.lineno = lineno
+        self.col_offset = col_offset
+
+
+@register(
+    "E002",
+    title="except clause broader than what the body can raise",
+    rationale=(
+        "A bare/BaseException catch swallows KeyboardInterrupt and "
+        "SystemExit; a handler for an exception the body cannot raise is "
+        "dead code that hides the author's real intent.  Narrow the "
+        "clause, or justify a fault-isolation boundary with an inline "
+        "allow."
+    ),
+    scope="dataflow",
+    severity="warning",
+)
+def check_overbroad_handlers(
+    project: ProjectContext, flow: ProjectDataflow
+) -> Iterator[Violation]:
+    """Flag bare/BaseException catches and provably-dead narrow handlers."""
+    model = build_exception_model(flow)
+    for fact in model.handler_facts:
+        if fact.is_base_or_bare:
+            if fact.reraises:
+                continue
+            yield _violation(
+                fact.fn.module_rel,
+                fact.handler,
+                "E002",
+                f"{_handler_label(fact.names)} in `{fact.fn.qualname}` catches "
+                "BaseException (KeyboardInterrupt/SystemExit included) and "
+                "does not re-raise; narrow it to Exception or justify the "
+                "fault-isolation boundary with an inline allow",
+                severity="warning",
+            )
+            continue
+        if fact.is_broad or fact.names is None:
+            continue  # `except Exception` is a legitimate backstop
+        if fact.body_external:
+            continue  # body calls code the model cannot see: no dead claim
+        if any(not model.known_exception_class(n) for n in fact.names):
+            continue
+        caught = {
+            n
+            for n in fact.reaching
+            if any(model.is_exception_subclass(n, h) for h in fact.names)
+        }
+        if not caught:
+            body = sorted(fact.reaching) or ["nothing"]
+            yield _violation(
+                fact.fn.module_rel,
+                fact.handler,
+                "E002",
+                f"{_handler_label(fact.names)} in `{fact.fn.qualname}` is dead: "
+                f"the fully-resolved try body can only raise "
+                f"{{{', '.join(body)}}}",
+                severity="warning",
+            )
+
+
+@register(
+    "E003",
+    title="swallowed exception: handler neither re-raises, logs, nor returns a sentinel",
+    rationale=(
+        "A broad handler that silently eats the exception turns faults "
+        "into wrong answers with no trace — the exact blast-radius bug "
+        "class the serve fault suite exists for.  Record the failure "
+        "through the obs logger, re-raise, or return an explicit "
+        "sentinel."
+    ),
+    scope="dataflow",
+    severity="warning",
+)
+def check_swallowed_exceptions(
+    project: ProjectContext, flow: ProjectDataflow
+) -> Iterator[Violation]:
+    """Flag broad handlers that discard the exception without a record."""
+    model = build_exception_model(flow)
+    for fact in model.handler_facts:
+        if not fact.is_broad:
+            continue
+        if fact.reraises or fact.logs:
+            continue
+        if (
+            not fact.is_base_or_bare
+            and fact.sentinel_return
+            and not fact.computed_return
+        ):
+            # `except Exception: return None`-style explicit sentinel.
+            continue
+        yield _violation(
+            fact.fn.module_rel,
+            fact.handler,
+            "E003",
+            f"{_handler_label(fact.names)} in `{fact.fn.qualname}` swallows "
+            "the exception: add an obs logger call with the exception type, "
+            "re-raise, or return an explicit sentinel",
+            severity="warning",
+        )
+
+
+@register(
+    "E004",
+    title="raise inside finally/__exit__ masks the in-flight exception",
+    rationale=(
+        "An exception raised during cleanup replaces whatever was "
+        "propagating, so the original fault is lost exactly when it "
+        "matters; cleanup paths must be non-raising."
+    ),
+    scope="dataflow",
+)
+def check_raise_in_cleanup(
+    project: ProjectContext, flow: ProjectDataflow
+) -> Iterator[Violation]:
+    """Flag raise statements lexically inside finally blocks and __exit__."""
+    model = build_exception_model(flow)
+    seen: Set[Tuple[str, int]] = set()
+    for site in model.finally_raises:
+        key = (site.fn.module_rel, site.node.lineno)
+        if key in seen:
+            continue
+        seen.add(key)
+        yield _violation(
+            site.fn.module_rel,
+            site.node,
+            "E004",
+            f"raise inside finally in `{site.fn.qualname}` masks any "
+            "in-flight exception; move it out of the cleanup path",
+        )
+    for fn in model.functions.values():
+        if fn.name not in ("__exit__", "__aexit__"):
+            continue
+        for node in _raises_in(fn.node):
+            if node.exc is None:
+                continue  # bare re-raise inside a handler is fine
+            key = (fn.module_rel, node.lineno)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield _violation(
+                fn.module_rel,
+                node,
+                "E004",
+                f"raise inside `{fn.qualname}` context-manager cleanup "
+                "masks the exception the with-body is propagating",
+            )
+
+
+def _raises_in(node: ast.AST) -> Iterator[ast.Raise]:
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)):
+            continue
+        if isinstance(child, ast.Raise):
+            yield child
+        yield from _raises_in(child)
+
+
+@register(
+    "E005",
+    title="exception constructed but never raised",
+    rationale=(
+        "`ValueError(...)` as a bare statement allocates the exception "
+        "and throws it away — almost always a forgotten `raise`."
+    ),
+    scope="dataflow",
+)
+def check_unraised_exceptions(
+    project: ProjectContext, flow: ProjectDataflow
+) -> Iterator[Violation]:
+    """Flag bare-statement constructions of exception classes."""
+    model = build_exception_model(flow)
+    for site in model.unraised_constructions:
+        yield _violation(
+            site.fn.module_rel,
+            site.node,
+            "E005",
+            f"in `{site.fn.qualname}`: {site.detail} — did you forget "
+            "`raise`?",
+        )
+
+
+@register(
+    "E006",
+    title="lock acquire without an exception-safe release",
+    rationale=(
+        "A raise between manual .acquire() and .release() leaks the lock "
+        "and deadlocks every later taker; release in a finally, or use "
+        "`with`.  (The C-family guarded-region analysis only credits "
+        "`with` blocks, so this is also invisible to C001.)"
+    ),
+    scope="dataflow",
+)
+def check_unsafe_lock_release(
+    project: ProjectContext, flow: ProjectDataflow
+) -> Iterator[Violation]:
+    """Flag manual lock acquisitions whose release is not in a finally."""
+    exc_model = build_exception_model(flow)
+    lock_model = build_model(flow)
+
+    for fn in exc_model.functions.values():
+        if fn.module_rel.endswith(LOCK_IMPL_MODULES):
+            continue
+        acquires: List[Tuple[ast.Call, str, Optional[str]]] = []
+        safe_receivers: Set[str] = set()
+
+        def resolve_lock(receiver: ast.AST) -> Optional[str]:
+            # self.<attr> -> class lock table; bare name -> module /
+            # imported lock tables (the ConcurrencyModel's ids).
+            if (
+                isinstance(receiver, ast.Attribute)
+                and isinstance(receiver.value, ast.Name)
+                and receiver.value.id == "self"
+                and fn.cinfo is not None
+            ):
+                ld = lock_model.class_locks.get(fn.cinfo.key, {}).get(receiver.attr)
+                return ld.lock_id if ld is not None else None
+            if isinstance(receiver, ast.Name):
+                rel = fn.module_rel
+                ld = lock_model.module_locks.get(rel, {}).get(
+                    receiver.id
+                ) or lock_model.imported_locks.get(rel, {}).get(receiver.id)
+                return ld.lock_id if ld is not None else None
+            return None
+
+        def scan(node: ast.AST, in_finally: bool) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(
+                    child,
+                    (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda),
+                ):
+                    continue
+                if (
+                    isinstance(child, ast.Call)
+                    and isinstance(child.func, ast.Attribute)
+                    and child.func.attr in ("acquire", "release")
+                ):
+                    text = _dotted(child.func.value)
+                    if text is not None:
+                        if child.func.attr == "acquire":
+                            acquires.append(
+                                (child, text, resolve_lock(child.func.value))
+                            )
+                        elif in_finally:
+                            safe_receivers.add(text)
+                if isinstance(child, ast.Try):
+                    for part in (child.body, child.handlers, child.orelse):
+                        for sub in part:
+                            scan(sub, in_finally)
+                    for sub in child.finalbody:
+                        scan(sub, True)
+                        if (
+                            isinstance(sub, ast.Expr)
+                            and isinstance(sub.value, ast.Call)
+                            and isinstance(sub.value.func, ast.Attribute)
+                            and sub.value.func.attr == "release"
+                        ):
+                            text = _dotted(sub.value.func.value)
+                            if text is not None:
+                                safe_receivers.add(text)
+                else:
+                    scan(child, in_finally)
+
+        scan(fn.node, False)
+        for call, text, lock_id in acquires:
+            if text in safe_receivers:
+                continue
+            if lock_id is None:
+                continue  # not a lock the concurrency model knows
+            yield _violation(
+                fn.module_rel,
+                call,
+                "E006",
+                f"`{text}.acquire()` in `{fn.qualname}` has no release in a "
+                f"finally: a raise in between leaks lock {lock_id} "
+                "(cross-ref: the C-family tracks this lock's guarded "
+                "regions); use `with` or release in a finally",
+            )

@@ -274,6 +274,8 @@ def build_parser() -> argparse.ArgumentParser:
                       help="lowest severity that fails the run (default: warning)")
     lint.add_argument("--update-baseline", action="store_true",
                       help="re-snapshot current findings into the --baseline file")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule table (id, family, severity, doc) and exit")
     return parser
 
 
@@ -566,6 +568,12 @@ def _cmd_report(args) -> int:
 def _cmd_lint(args) -> int:
     from .analysis import run_analysis, write_baseline
 
+    if getattr(args, "list_rules", False):
+        from .analysis import format_rule_table
+        from .analysis import rules as _rules  # noqa: F401  (registers the catalogue)
+
+        print(format_rule_table())
+        return 0
     rules = [r.strip() for r in args.rules.split(",")] if args.rules else None
     update = getattr(args, "update_baseline", False)
     if update and not args.baseline:

@@ -41,10 +41,13 @@ from typing import Callable, List, Optional, Sequence
 import numpy as np
 
 from ..obs.lockstats import new_lock
+from ..obs.log import get_logger
 from ..obs.metrics import get_registry
 from ..obs.trace import current_trace
 
 __all__ = ["MicroBatcher"]
+
+_LOG = get_logger("repro.serve.batcher")
 
 
 class _Request:
@@ -210,8 +213,16 @@ class MicroBatcher:
                     f"encode_fn returned shape {embeddings.shape} "
                     f"for a batch of {len(batch)}"
                 )
-        except BaseException as exc:  # fault isolation boundary
+        # The flusher thread must survive *anything* the encoder throws —
+        # a dead flusher hangs every future ever submitted — so this
+        # boundary is deliberately BaseException-wide.
+        except BaseException as exc:  # lint: allow(E002) fault isolation boundary
             end = time.perf_counter()
+            # Every swallowed fault is attributable post-hoc: type + batch.
+            _LOG.warning(
+                "batch-failed", error=type(exc).__name__,
+                batch_size=len(batch), queue=self._name,
+            )
             for request in batch:
                 if request.handoff is not None:
                     request.handoff.record(

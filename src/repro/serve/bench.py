@@ -29,6 +29,7 @@ import numpy as np
 
 from ..core import TMN, TMNConfig
 from ..data import make_dataset, prepare
+from ..obs.log import get_logger
 from ..obs.metrics import get_registry
 from ..obs.sampler import StackSampler
 from ..obs.slo import (
@@ -45,6 +46,8 @@ from ..obs.trace import get_tracer
 from .engine import ServeResult, SimilarityServer
 
 __all__ = ["ServeBenchResult", "run_serve_bench", "format_serve_bench"]
+
+_BENCH_LOG = get_logger("repro.serve.bench")
 
 #: Env var naming a fallback metrics-snapshot path for every bench run;
 #: the ``metrics_out`` parameter takes precedence.
@@ -234,18 +237,31 @@ def run_serve_bench(
         next_query = {"i": 0}
         hand_out = threading.Lock()
 
-        def worker() -> None:
-            """Pull query indices and serve them until the pool is drained."""
+        def worker() -> None:  # contract: never-raises
+            """Pull query indices and serve them until the pool is drained.
+
+            A raise escaping this loop would kill the worker thread and
+            silently drop every query it still owned; E001 verifies none
+            can.
+            """
+            i = -1
             while True:
-                with hand_out:
-                    i = next_query["i"]
-                    if i >= n_queries:
-                        return
-                    next_query["i"] = i + 1
-                # Slot i is handed to exactly one worker by the hand_out
-                # block above, so this write is index-partitioned — no two
-                # threads ever share a slot.
-                results[i] = server.topk(queries[i], k=k, deadline_s=deadline_s)  # lint: allow(C001)
+                try:
+                    with hand_out:
+                        i = next_query["i"]
+                        if i >= n_queries:
+                            return
+                        next_query["i"] = i + 1
+                    # Slot i is handed to exactly one worker by the hand_out
+                    # block above, so this write is index-partitioned — no
+                    # two threads ever share a slot.
+                    results[i] = server.topk(queries[i], k=k, deadline_s=deadline_s)  # lint: allow(C001)
+                except Exception as exc:
+                    # The slot stays None (counted as dropped); the worker
+                    # lives on to serve the rest of the pool.
+                    _BENCH_LOG.warning(
+                        "serve-query-failed", error=type(exc).__name__, query=i
+                    )
 
         threads = [threading.Thread(target=worker) for _ in range(workers)]
         start = time.perf_counter()

@@ -42,6 +42,7 @@ import numpy as np
 from ..index.hnsw import HNSWIndex
 from ..metrics import MetricSpec, get_metric, pad_trajectories
 from ..obs.lockstats import new_lock
+from ..obs.log import get_logger
 from ..obs.metrics import get_registry
 from ..obs.spans import span
 from ..obs.trace import get_tracer, trace_span
@@ -49,6 +50,8 @@ from .batcher import MicroBatcher
 from .cache import EmbeddingCache, trajectory_key
 
 __all__ = ["ServeResult", "SimilarityServer"]
+
+_LOG = get_logger("repro.serve.engine")
 
 
 @dataclass
@@ -219,7 +222,9 @@ class SimilarityServer:
         self.cache.put(key, embedding)
         return embedding
 
-    def topk(self, traj, k: int = 1, deadline_s: Optional[float] = None) -> ServeResult:
+    # The E001 pass statically verifies this annotation: every raise
+    # reachable from topk must be caught before it gets back here.
+    def topk(self, traj, k: int = 1, deadline_s: Optional[float] = None) -> ServeResult:  # contract: never-raises
         """Top-k most similar database trajectories; never raises.
 
         ``deadline_s`` bounds the time spent waiting for the encoder; a
@@ -227,56 +232,92 @@ class SimilarityServer:
         answer.  ``k`` is clamped to the database size.
         """
         start = time.perf_counter()
+        try:
+            return self._topk_impl(traj, k, deadline_s, start)
+        except Exception as exc:
+            # Last-resort guard: the serving contract is "no exceptions
+            # to the caller"; anything unexpected degrades instead.
+            _LOG.error("topk-unexpected", error=type(exc).__name__, k=k)
+            return self._last_resort(traj, k, start, exc)
+
+    def _topk_impl(
+        self, traj, k: int, deadline_s: Optional[float], start: float
+    ) -> ServeResult:
+        """The cache → micro-batch → index pipeline behind :meth:`topk`.
+
+        May raise; :meth:`topk` owns the never-raises guard.
+        """
         registry = get_registry()
         registry.counter("serve.query.requests").inc()
         with get_tracer().trace("serve.topk", k=k) as trace:
             if deadline_s is not None:
                 trace.set(deadline_s=deadline_s)
-            try:
-                points = self._as_points(traj)
-                key = trajectory_key(points)
-                with trace.span("cache") as cache_span:
-                    cached = self.cache.get(key)
-                    cache_hit = cached is not None
-                    cache_span.set(result="hit" if cache_hit else "miss")
-                trace.set(cache_hit=cache_hit)
-                if cache_hit:
-                    embedding = cached
-                else:
-                    remaining = deadline_s
-                    if deadline_s is not None:
-                        remaining = deadline_s - (time.perf_counter() - start)
-                        if remaining <= 0:
-                            return self._degraded(
-                                points, k, start, cache_hit=False,
-                                reason="deadline-before-encode",
-                            )
-                    with span("serve-wait"):
-                        # Queue-wait/forward spans are stamped onto this
-                        # trace by the batcher's flush thread (handoff).
-                        try:
-                            embedding = self.batcher.submit(points).result(timeout=remaining)
-                        except FutureTimeoutError:
-                            registry.counter("serve.query.deadline_missed").inc()
-                            return self._degraded(
-                                points, k, start, cache_hit=False,
-                                reason="deadline-missed",
-                            )
-                        except Exception as exc:
-                            return self._degraded(
-                                points, k, start, cache_hit=False,
-                                reason=f"batch-failed:{type(exc).__name__}",
-                            )
-                    self.cache.put(key, embedding)
-                return self._answer(embedding, k, start, cache_hit)
-            except Exception as exc:
-                # Last-resort guard: the serving contract is "no exceptions
-                # to the caller"; anything unexpected degrades instead.
-                registry.counter("serve.query.unexpected_errors").inc()
-                return self._degraded(
-                    self._as_points(traj), k, start, cache_hit=False,
-                    reason=f"unexpected:{type(exc).__name__}",
-                )
+            points = self._as_points(traj)
+            key = trajectory_key(points)
+            with trace.span("cache") as cache_span:
+                cached = self.cache.get(key)
+                cache_hit = cached is not None
+                cache_span.set(result="hit" if cache_hit else "miss")
+            trace.set(cache_hit=cache_hit)
+            if cache_hit:
+                embedding = cached
+            else:
+                remaining = deadline_s
+                if deadline_s is not None:
+                    remaining = deadline_s - (time.perf_counter() - start)
+                    if remaining <= 0:
+                        return self._degraded(
+                            points, k, start, cache_hit=False,
+                            reason="deadline-before-encode",
+                        )
+                with span("serve-wait"):
+                    # Queue-wait/forward spans are stamped onto this
+                    # trace by the batcher's flush thread (handoff).
+                    try:
+                        embedding = self.batcher.submit(points).result(timeout=remaining)
+                    except FutureTimeoutError:
+                        registry.counter("serve.query.deadline_missed").inc()
+                        return self._degraded(
+                            points, k, start, cache_hit=False,
+                            reason="deadline-missed",
+                        )
+                    except Exception as exc:
+                        _LOG.warning(
+                            "batch-failed", error=type(exc).__name__,
+                            trace_id=trace.trace_id, k=k,
+                        )
+                        return self._degraded(
+                            points, k, start, cache_hit=False,
+                            reason=f"batch-failed:{type(exc).__name__}",
+                        )
+                self.cache.put(key, embedding)
+            return self._answer(embedding, k, start, cache_hit)
+
+    def _last_resort(self, traj, k: int, start: float, exc: Exception) -> ServeResult:
+        """Absolute fallback behind the never-raises contract.
+
+        Tries the degraded exact path; if even that faults (the situation
+        the contract exists for), answers with an empty result built from
+        literals only — the one construction the exception model proves
+        cannot raise.
+        """
+        try:
+            get_registry().counter("serve.query.unexpected_errors").inc()
+            return self._degraded(
+                self._as_points(traj), k, start, cache_hit=False,
+                reason=f"unexpected:{type(exc).__name__}",
+            )
+        except Exception as inner:
+            _LOG.error("topk-last-resort", error=type(inner).__name__, k=k)
+            return ServeResult(
+                ids=np.zeros(0, dtype=int),
+                distances=np.zeros(0),
+                degraded=True,
+                cache_hit=False,
+                source="degraded-exact",
+                seconds=time.perf_counter() - start,
+                k=k,
+            )
 
     # ------------------------------------------------------------------
     def _answer(

@@ -410,7 +410,7 @@ class TestEntryPoints:
         _write(tmp_path, "syntax.py", "def broken(:\n")
         report = run_analysis([tmp_path], root=tmp_path, rules=["R001"])
         assert not report.ok
-        assert report.violations[0].rule == "E001"
+        assert report.violations[0].rule == "P000"
         assert report.violations[0].path == "syntax.py"
 
     def test_cli_lint_subcommand(self, tmp_path, capsys):
