@@ -1,9 +1,9 @@
 # Convenience targets for the TMN reproduction.
 
 .PHONY: install test lint lint-json lint-concurrency lint-exceptions \
-	sanitize-test bench bench-fast bench-json bench-serve bench-memory \
-	bench-check trace-demo verify regen-golden profile profile-serve \
-	examples clean
+	sanitize-test bench bench-fast bench-json bench-serve bench-shard \
+	bench-memory bench-check trace-demo verify regen-golden profile \
+	profile-serve examples clean
 
 install:
 	pip install -e .
@@ -53,11 +53,21 @@ bench-fast:
 bench-json:
 	REPRO_BENCH_JSON=BENCH_results.json pytest benchmarks/ --benchmark-only
 
-# Serving-layer throughput/latency bench (micro-batching vs naive encode);
-# writes the BENCH_serve.json trajectory via the shared bench_record path.
+# Serving-layer benches (micro-batching vs naive encode, plus the sharded
+# process-pool tier vs its single-interpreter control arm); together they
+# write the BENCH_serve.json trajectory the bench-check gate diffs.
 bench-serve:
 	REPRO_BENCH_JSON=BENCH_serve.json PYTHONPATH=src \
-		python -m pytest benchmarks/test_serve_throughput.py --benchmark-only
+		python -m pytest benchmarks/test_serve_throughput.py \
+		benchmarks/test_serve_shard.py --benchmark-only
+
+# Sharded-tier bench alone (quick iteration on repro.serve.shard).  Note
+# this rewrites BENCH_serve.json with only the shard benches — run the
+# full `make bench-serve` before `make bench-check`, which requires every
+# baseline bench to be present.
+bench-shard:
+	REPRO_BENCH_JSON=BENCH_serve.json PYTHONPATH=src \
+		python -m pytest benchmarks/test_serve_shard.py --benchmark-only
 
 # Memory-budget bench: exact payload-byte audit of the serving structures
 # (store / embedding cache / HNSW index) recorded as BENCH_memory.json —

@@ -179,6 +179,29 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the metrics-registry snapshot as JSON (also on SLO breach)",
     )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="benchmark the sharded process-pool tier with N worker processes "
+        "instead of the single-process server (ignores --kind/--hidden-dim/"
+        "--traj-len/--deadline-ms/--trace-log: the sharded bench uses the "
+        "deterministic feature encoder over random walks)",
+    )
+    serve.add_argument(
+        "--shard-strategy",
+        choices=("round-robin", "hash"),
+        default="round-robin",
+        help="shard assignment for --shards (content-hash or round-robin)",
+    )
+    serve.add_argument(
+        "--shard-deadline-ms",
+        type=float,
+        default=5000.0,
+        help="per-shard scatter-gather deadline for --shards (missed shards "
+        "fall back to an exact coordinator-side scan)",
+    )
 
     prof = sub.add_parser(
         "profile-serve",
@@ -417,6 +440,28 @@ def _cmd_serve_bench(args) -> int:
     import json
 
     from .serve import format_serve_bench, run_serve_bench
+
+    if args.shards > 0:
+        from .serve import format_shard_bench, run_shard_bench
+
+        result = run_shard_bench(
+            n_db=args.n_db,
+            n_queries=args.queries,
+            shards=args.shards,
+            workers=args.workers,
+            k=args.k,
+            batch_size=args.batch_size,
+            max_wait_ms=args.max_wait_ms,
+            shard_deadline_s=args.shard_deadline_ms / 1000.0,
+            strategy=args.shard_strategy,
+            seed=args.seed,
+            metrics_out=args.metrics_out,
+        )
+        if args.json:
+            print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(format_shard_bench(result))
+        return 0 if result.dropped == 0 else 1
 
     deadline = args.deadline_ms / 1000.0 if args.deadline_ms is not None else None
     result = run_serve_bench(

@@ -181,6 +181,51 @@ class HNSWIndex:
         """Insert many vectors; returns their ids."""
         return [self.add(v) for v in np.asarray(vectors, dtype=np.float64)]
 
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """One consistent, picklable snapshot of the whole graph.
+
+        Everything :meth:`from_state` needs to answer queries identically
+        to this instance: vectors, per-layer adjacency, entry point and
+        construction parameters.  The sharded serving tier ships these
+        across the process boundary so a coordinator can rebuild a
+        worker's shard in-process without re-inserting.
+        """
+        with self._lock:
+            return {
+                "dim": self.dim,
+                "m": self.m,
+                "ef_construction": self.ef_construction,
+                "vectors": [np.array(v) for v in self.vectors],
+                "neighbors": [
+                    {node: list(links) for node, links in layer.items()}
+                    for layer in self._neighbors
+                ],
+                "entry": self._entry,
+                "max_level": self._max_level,
+            }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "HNSWIndex":
+        """Rebuild an index from :meth:`state_dict` output.
+
+        Queries on the rebuilt index traverse the identical graph, so
+        results match the source instance exactly (the RNG stream starts
+        fresh — only future inserts can diverge).
+        """
+        index = cls(
+            state["dim"], m=state["m"], ef_construction=state["ef_construction"]
+        )
+        with index._lock:
+            index.vectors = [np.asarray(v, dtype=np.float64) for v in state["vectors"]]
+            index._neighbors = [
+                {int(node): list(links) for node, links in layer.items()}
+                for layer in state["neighbors"]
+            ]
+            index._entry = state["entry"]
+            index._max_level = state["max_level"]
+        return index
+
     def query(self, vector: np.ndarray, k: int = 1, ef: Optional[int] = None) -> Tuple[np.ndarray, np.ndarray]:
         """Approximate k nearest neighbours: ``(distances, ids)`` ascending.
 

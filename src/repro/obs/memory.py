@@ -46,10 +46,11 @@ __all__ = [
 ]
 
 
-def _proc_status_kib(field: str) -> Optional[int]:
-    """One ``kB`` field of ``/proc/self/status`` in bytes, or None."""
+def _proc_status_kib(field: str, pid: Optional[int] = None) -> Optional[int]:
+    """One ``kB`` field of ``/proc/<pid>/status`` in bytes, or None."""
+    who = "self" if pid is None else str(pid)
     try:
-        with open("/proc/self/status") as fh:
+        with open(f"/proc/{who}/status") as fh:
             for line in fh:
                 if line.startswith(field + ":"):
                     return int(line.split()[1]) * 1024
@@ -58,16 +59,21 @@ def _proc_status_kib(field: str) -> Optional[int]:
     return None
 
 
-def rss_bytes() -> int:
-    """Current resident set size of this process in bytes.
+def rss_bytes(pid: Optional[int] = None) -> int:
+    """Current resident set size of a process in bytes.
 
-    Reads ``VmRSS`` from ``/proc/self/status``; on platforms without
-    procfs, falls back to ``ru_maxrss`` (the *peak*, the closest portable
-    proxy — documented so a flat reading off Linux is not misread).
+    Reads ``VmRSS`` from ``/proc/<pid>/status`` (``pid=None`` means this
+    process) — the sharded serving tier passes worker pids to account the
+    whole pool.  Without procfs the self-reading falls back to
+    ``ru_maxrss`` (the *peak*, the closest portable proxy — documented so
+    a flat reading off Linux is not misread); for a foreign pid the
+    fallback is 0, there is no portable cross-process probe.
     """
-    value = _proc_status_kib("VmRSS")
+    value = _proc_status_kib("VmRSS", pid=pid)
     if value is not None:
         return value
+    if pid is not None:
+        return 0
     import resource
 
     return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024

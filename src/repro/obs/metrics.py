@@ -34,6 +34,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "get_registry",
+    "mirror_snapshot",
 ]
 
 #: One shared mutation lock for every instrument: updates are tiny, so a
@@ -289,6 +290,38 @@ class MetricsRegistry:
             instruments = list(self._instruments.values())
         for instrument in instruments:
             instrument.reset()
+
+
+def mirror_snapshot(
+    snapshot: Dict[str, dict],
+    prefix: str,
+    registry: Optional["MetricsRegistry"] = None,
+) -> int:
+    """Mirror another process's registry snapshot into local gauges.
+
+    The cross-process metrics handoff for the sharded serving tier: a
+    worker ships ``registry.snapshot()`` over its response queue and the
+    coordinator replays it here under ``<prefix><name>`` names.  Every
+    instrument lands as a *gauge* (last-shipped-value-wins — a remote
+    counter is a level from this process's point of view, and re-mirroring
+    must overwrite, not accumulate); histograms contribute their
+    ``count`` and ``mean`` as two gauges.  Returns the number of gauges
+    written.
+    """
+    registry = registry if registry is not None else get_registry()
+    written = 0
+    for name, payload in snapshot.items():
+        kind = payload.get("type")
+        if kind in ("counter", "gauge"):
+            value = payload.get("value")
+            if value is not None:
+                registry.gauge(f"{prefix}{name}").set(value)
+                written += 1
+        elif kind == "histogram" and payload.get("count"):
+            registry.gauge(f"{prefix}{name}.count").set(payload["count"])
+            registry.gauge(f"{prefix}{name}.mean").set(payload.get("mean", 0.0))
+            written += 2
+    return written
 
 
 #: The process-wide default registry used by the instrumented subsystems.

@@ -12,24 +12,53 @@ package is the subsystem that actually serves those queries:
 - :mod:`repro.serve.engine` — :class:`SimilarityServer`: cache → queue →
   HNSW/brute top-k with per-request deadlines; a missed deadline or a
   poisoned batch yields a degraded-but-exact answer, never an exception;
+- :mod:`repro.serve.shard` — :class:`ShardedSimilarityServer`: the
+  process-pool tier — N spawned workers each owning an index shard and
+  a MicroBatcher, shared-memory payload handoff, scatter-gather top-k
+  merge with per-shard deadlines and the same never-raises contract;
 - :mod:`repro.serve.bench` — the ``repro-tmn serve-bench`` harness
-  measuring served vs naive one-forward-per-request throughput.
+  measuring served vs naive one-forward-per-request throughput, plus
+  the sharded closed-loop bench behind ``--shards``.
 
-See DESIGN.md §11 for the architecture and the failure-mode table.
+See DESIGN.md §11 for the single-process architecture and failure-mode
+table, §16 for the sharded tier.
 """
 
 from .batcher import MicroBatcher
-from .bench import ServeBenchResult, format_serve_bench, run_serve_bench
+from .bench import (
+    ServeBenchResult,
+    ShardBenchResult,
+    format_serve_bench,
+    format_shard_bench,
+    run_serve_bench,
+    run_shard_bench,
+)
 from .cache import EmbeddingCache, trajectory_key
-from .engine import ServeResult, SimilarityServer
+from .engine import ServeResult, SimilarityServer, exact_metric_topk
+from .shard import (
+    FeatureEncoder,
+    ShardDeadError,
+    ShardedSimilarityServer,
+    assign_shard,
+    merge_topk,
+)
 
 __all__ = [
     "EmbeddingCache",
+    "FeatureEncoder",
     "MicroBatcher",
     "ServeBenchResult",
     "ServeResult",
+    "ShardBenchResult",
+    "ShardDeadError",
+    "ShardedSimilarityServer",
     "SimilarityServer",
+    "assign_shard",
+    "exact_metric_topk",
     "format_serve_bench",
+    "format_shard_bench",
+    "merge_topk",
     "run_serve_bench",
+    "run_shard_bench",
     "trajectory_key",
 ]

@@ -43,9 +43,17 @@ from ..obs.slo import (
     format_slos,
 )
 from ..obs.trace import get_tracer
+from .cache import trajectory_key
 from .engine import ServeResult, SimilarityServer
 
-__all__ = ["ServeBenchResult", "run_serve_bench", "format_serve_bench"]
+__all__ = [
+    "ServeBenchResult",
+    "ShardBenchResult",
+    "format_serve_bench",
+    "format_shard_bench",
+    "run_serve_bench",
+    "run_shard_bench",
+]
 
 _BENCH_LOG = get_logger("repro.serve.bench")
 
@@ -374,6 +382,381 @@ def format_serve_bench(result: ServeBenchResult) -> str:
         f"  health    completed {result.completed}/{result.n_queries}, "
         f"dropped {result.dropped}, degraded {result.degraded}, "
         f"cache hits {result.cache_hits}",
+        f"  memory    {result.bytes_per_trajectory:,.0f} B/trajectory accounted, "
+        f"peak rss {result.peak_rss_bytes / (1024 * 1024):,.1f} MiB",
+    ]
+    if result.slo_statuses:
+        lines.append(format_slos(result.slo_statuses))
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Sharded closed-loop bench (``repro-tmn serve-bench --shards N``).
+# ----------------------------------------------------------------------
+@dataclass
+class ShardBenchResult:
+    """Outcome of one sharded serve-bench run (all times in seconds).
+
+    ``single_seconds`` is the control arm: the *same* shard graphs and
+    the same scatter-gather merge driven by ``workers`` threads inside
+    one interpreter — so the sharded/single ratio isolates exactly what
+    the process pool changes (GIL vs IPC), with total search work held
+    equal.  ``agreement`` is the fraction of sampled queries whose
+    process-pool answer is identical to the in-process answer;
+    ``recall_at_k`` scores the merged answers against an exact brute
+    force over the coordinator's retained embedding blocks.
+    """
+
+    n_db: int
+    n_queries: int
+    shards: int
+    workers: int
+    k: int
+    build_seconds: float
+    sharded_seconds: float
+    single_seconds: float
+    completed: int
+    dropped: int
+    degraded: int
+    latency_p50: float
+    latency_p99: float
+    recall_at_k: float
+    agreement: float
+    checked: int
+    cpu_count: int
+    slo_statuses: List[SLOStatus] = field(default_factory=list)
+    bytes_per_trajectory: float = 0.0
+    peak_rss_bytes: float = 0.0
+
+    @property
+    def slo_ok(self) -> bool:
+        """Whether every evaluated SLO held over this run's traces."""
+        return all(s.ok for s in self.slo_statuses)
+
+    @property
+    def sharded_qps(self) -> float:
+        """Queries per second through the process-pool tier."""
+        return self.n_queries / max(self.sharded_seconds, 1e-12)
+
+    @property
+    def single_qps(self) -> float:
+        """Queries per second through the single-interpreter control arm."""
+        return self.n_queries / max(self.single_seconds, 1e-12)
+
+    @property
+    def speedup(self) -> float:
+        """Process-pool throughput over the single-process thread pool."""
+        return self.sharded_qps / max(self.single_qps, 1e-12)
+
+    def to_dict(self) -> Dict[str, float]:
+        """Flat JSON-ready summary (what the bench JSON records)."""
+        return {
+            "n_db": float(self.n_db),
+            "n_queries": float(self.n_queries),
+            "workers": float(self.workers),
+            "shards": float(self.shards),
+            "k": float(self.k),
+            "sharded_qps": self.sharded_qps,
+            "single_qps": self.single_qps,
+            "speedup": self.speedup,
+            "build_seconds": self.build_seconds,
+            "completed": float(self.completed),
+            "dropped": float(self.dropped),
+            "degraded": float(self.degraded),
+            "latency_p50": self.latency_p50,
+            "latency_p99": self.latency_p99,
+            "recall_at_k": self.recall_at_k,
+            "agreement": self.agreement,
+            "checked": float(self.checked),
+            "cpu_count": float(self.cpu_count),
+            "slo_failures": float(sum(1 for s in self.slo_statuses if not s.ok)),
+            "bytes_per_trajectory": self.bytes_per_trajectory,
+            "peak_rss_bytes": self.peak_rss_bytes,
+        }
+
+
+def _make_walks(
+    n: int, rng: np.random.Generator, min_len: int = 16, max_len: int = 32
+) -> List[np.ndarray]:
+    """``n`` random-walk trajectories with one bulk normal draw.
+
+    Cheap enough to generate a 100k-trajectory corpus in seconds — the
+    sharded bench needs store scale without paying dataset-pipeline cost.
+    """
+    lengths = rng.integers(min_len, max_len + 1, size=n)
+    offsets = np.concatenate([[0], np.cumsum(lengths)])
+    steps = rng.normal(scale=0.05, size=(int(offsets[-1]), 2))
+    starts = rng.uniform(-1.0, 1.0, size=(n, 2))
+    return [
+        starts[i] + np.cumsum(steps[offsets[i] : offsets[i + 1]], axis=0)
+        for i in range(n)
+    ]
+
+
+def _drive_closed_loop(
+    serve_fn, n_queries: int, workers: int
+) -> "tuple[float, list]":
+    """Closed-loop thread pool: ``workers`` threads drain a query pool.
+
+    ``serve_fn(i)`` answers query ``i``; returns (wall seconds, results
+    list with None for queries whose slot errored).
+    """
+    results: List[Optional[object]] = [None] * n_queries
+    next_query = {"i": 0}
+    hand_out = threading.Lock()
+
+    def worker() -> None:  # contract: never-raises
+        """Pull query indices and serve them until the pool is drained.
+
+        A raise escaping this loop would kill the worker thread and
+        silently drop every query it still owned; E001 verifies none can.
+        """
+        i = -1
+        while True:
+            try:
+                with hand_out:
+                    i = next_query["i"]
+                    if i >= n_queries:
+                        return
+                    next_query["i"] = i + 1
+                # Slot i is handed to exactly one worker by the hand_out
+                # block above, so this write is index-partitioned — no
+                # two threads ever share a slot.
+                results[i] = serve_fn(i)  # lint: allow(C001)
+            except Exception as exc:
+                # The slot stays None (counted as dropped); the worker
+                # lives on to serve the rest of the pool.
+                _BENCH_LOG.warning(
+                    "serve-query-failed", error=type(exc).__name__, query=i
+                )
+
+    threads = [threading.Thread(target=worker) for _ in range(workers)]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return time.perf_counter() - start, results
+
+
+def run_shard_bench(
+    n_db: int = 2000,
+    n_queries: int = 400,
+    shards: int = 4,
+    workers: int = 4,
+    dim: int = 16,
+    k: int = 10,
+    m: int = 4,
+    ef_construction: int = 16,
+    ef_search: Optional[int] = None,
+    batch_size: int = 32,
+    max_wait_ms: float = 2.0,
+    brute_threshold: int = 64,
+    shard_deadline_s: float = 5.0,
+    strategy: str = "round-robin",
+    check_sample: int = 64,
+    seed: int = 0,
+    slos: Optional[Sequence[SLO]] = None,
+    enforce_slos: bool = True,
+    metrics_out: Optional[str] = None,
+) -> ShardBenchResult:
+    """Run the sharded serving benchmark and return its measurements.
+
+    Phases: (1) build a ``shards``-worker
+    :class:`~repro.serve.shard.ShardedSimilarityServer` over ``n_db``
+    random-walk trajectories (workers insert their shards in parallel);
+    (2) drive ``n_queries`` distinct queries from ``workers`` threads
+    through the process pool; (3) dump every shard's graph, rebuild it
+    in-process and drive the *same* queries through the same
+    scatter-gather merge on ``workers`` threads inside this interpreter —
+    the single-process control arm, identical data structures and total
+    search work, zero IPC.
+
+    Correctness riders on every run: for ``check_sample`` queries the
+    process-pool answer must agree with the in-process answer (same
+    graphs, same cached embedding ⇒ identical traversal), and merged
+    answers are scored for recall against an exact brute force over the
+    coordinator's retained embedding blocks.
+
+    The encode substrate is the cheap deterministic
+    :class:`~repro.serve.shard.FeatureEncoder` — the bench measures
+    index/IPC/GIL behaviour, so encode cost must not dominate either arm.
+    """
+    from ..index.hnsw import HNSWIndex
+    from .shard import FeatureEncoder, ShardedSimilarityServer, _shard_search, merge_topk
+
+    rng = np.random.default_rng(seed)
+    corpus = _make_walks(n_db + n_queries, rng)
+    db, queries = corpus[:n_db], corpus[n_db:]
+    encoder = FeatureEncoder(dim=dim, seed=seed)
+    registry = get_registry()
+    tracer = get_tracer()
+    cpu_count = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else (
+        os.cpu_count() or 1
+    )
+
+    server = ShardedSimilarityServer(
+        encoder,
+        dim=dim,
+        n_shards=shards,
+        strategy=strategy,
+        shard_deadline_s=shard_deadline_s,
+        cache_capacity=max(4 * n_queries, 1024),
+        max_batch_size=batch_size,
+        max_wait_ms=max_wait_ms,
+        m=m,
+        ef_construction=ef_construction,
+        ef_search=ef_search,
+        brute_threshold=brute_threshold,
+        seed=seed,
+    )
+    switch_before = sys.getswitchinterval()
+    sys.setswitchinterval(0.02)
+    try:
+        build_start = time.perf_counter()
+        chunk = 5000
+        for lo in range(0, n_db, chunk):
+            server.add_batch(db[lo : lo + chunk])
+            _BENCH_LOG.info("shard-bench-build", inserted=min(lo + chunk, n_db), total=n_db)
+        build_seconds = time.perf_counter() - build_start
+
+        sharded_seconds, results = _drive_closed_loop(
+            lambda i: server.topk(queries[i], k=k), n_queries, workers
+        )
+        completed = sum(1 for r in results if r is not None)
+        dropped = n_queries - completed
+        degraded = sum(1 for r in results if r is not None and r.degraded)
+        latencies = sorted(r.seconds for r in results if r is not None)
+
+        # --- correctness riders (non-timed) --------------------------------
+        # Exact reference: the coordinator's retained embedding blocks,
+        # reassembled into gid order — brute force over them is the ground
+        # truth the merged answers are scored against.
+        emb_by_gid = np.zeros((n_db, dim))
+        for shard in range(shards):
+            block, gids = server._shard_block(shard)
+            if len(gids):
+                emb_by_gid[gids] = block
+        # In-process replicas of every shard graph (also the control arm).
+        dumps = [server.dump_shard(i) for i in range(shards)]
+        inline = [
+            (HNSWIndex.from_state(d["state"]), np.asarray(d["gids"], dtype=int))
+            for d in dumps
+        ]
+        spec = server._spec
+
+        def inline_topk(embedding: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
+            """The coordinator merge over in-process shard replicas."""
+            parts = [
+                _shard_search(index, gids, embedding, k, spec)
+                for index, gids in inline
+            ]
+            sq, gid = merge_topk(parts, min(k, n_db))
+            # Squared L2 values are nonnegative by construction.
+            return np.sqrt(sq), gid  # lint: allow(N002)
+
+        checked = agree = 0
+        recall_total = 0.0
+        step = max(len(queries) // max(check_sample, 1), 1)
+        for i in range(0, len(queries), step):
+            result = results[i]
+            if result is None or result.degraded:
+                continue
+            cached = server.cache.get(trajectory_key(queries[i]))
+            if cached is None:
+                continue
+            checked += 1
+            in_dists, in_gids = inline_topk(cached)
+            if np.array_equal(result.ids, in_gids) and np.array_equal(
+                result.distances, in_dists
+            ):
+                agree += 1
+            sq = ((emb_by_gid - cached[None, :]) ** 2).sum(axis=1)
+            exact = np.argsort(sq, kind="stable")[: min(k, n_db)]
+            recall_total += len(set(result.ids) & set(exact)) / max(len(exact), 1)
+        agreement = agree / checked if checked else 0.0
+        recall_at_k = recall_total / checked if checked else 0.0
+
+        # --- memory + SLOs over the sharded phase --------------------------
+        memory = server.memory_stats(registry=registry)
+        if slos is None:
+            slos = tuple(DEFAULT_SERVE_SLOS) + tuple(DEFAULT_MEMORY_SLOS)
+        slo_statuses = check_slos(
+            slos,
+            tracer=tracer,
+            window=n_queries,
+            totals={"requests": float(n_queries), "dropped": float(dropped)},
+            strict=False,
+            registry=registry,
+        )
+
+        # --- single-interpreter control arm --------------------------------
+        server.close()  # workers down first: the control arm must own the box
+
+        def single_serve(i: int) -> object:
+            embedding = np.asarray(encoder([queries[i]]), dtype=np.float64)[0]
+            return inline_topk(embedding)
+
+        single_seconds, single_results = _drive_closed_loop(
+            single_serve, n_queries, workers
+        )
+        single_dropped = sum(1 for r in single_results if r is None)
+        if single_dropped:
+            raise RuntimeError(f"control arm dropped {single_dropped} queries")
+
+        result = ShardBenchResult(
+            n_db=n_db,
+            n_queries=n_queries,
+            shards=shards,
+            workers=workers,
+            k=k,
+            build_seconds=build_seconds,
+            sharded_seconds=sharded_seconds,
+            single_seconds=single_seconds,
+            completed=completed,
+            dropped=dropped,
+            degraded=degraded,
+            latency_p50=latencies[len(latencies) // 2] if latencies else 0.0,
+            latency_p99=latencies[min(len(latencies) - 1, int(len(latencies) * 0.99))]
+            if latencies
+            else 0.0,
+            recall_at_k=recall_at_k,
+            agreement=agreement,
+            checked=checked,
+            cpu_count=cpu_count,
+            slo_statuses=list(slo_statuses),
+            bytes_per_trajectory=float(memory["bytes_per_trajectory"]),
+            peak_rss_bytes=float(memory["peak_rss_bytes"]),
+        )
+        # Persist the registry snapshot BEFORE enforcing SLOs: a breach
+        # must not cost us the measurements that explain it.
+        _export_metrics(metrics_out, registry)
+        if enforce_slos:
+            assert_slos(slo_statuses)
+        return result
+    finally:
+        sys.setswitchinterval(switch_before)
+        server.close()
+
+
+def format_shard_bench(result: ShardBenchResult) -> str:
+    """Human-readable shard-bench report (what the CLI prints)."""
+    lines = [
+        f"shard-bench: {result.n_queries} queries x {result.workers} workers "
+        f"over {result.n_db} trajectories in {result.shards} shards "
+        f"({result.cpu_count} cpu)",
+        f"  sharded   {result.sharded_qps:10.1f} qps "
+        f"({result.sharded_seconds:.3f}s total)",
+        f"  single    {result.single_qps:10.1f} qps "
+        f"(same graphs, {result.workers} threads, one interpreter)",
+        f"  speedup   {result.speedup:10.2f}x  (build {result.build_seconds:.1f}s)",
+        f"  latency   p50 {result.latency_p50 * 1e3:8.2f} ms   "
+        f"p99 {result.latency_p99 * 1e3:8.2f} ms",
+        f"  quality   agreement {result.agreement:.3f}, "
+        f"recall@{result.k} {result.recall_at_k:.3f} "
+        f"({result.checked} checked)",
+        f"  health    completed {result.completed}/{result.n_queries}, "
+        f"dropped {result.dropped}, degraded {result.degraded}",
         f"  memory    {result.bytes_per_trajectory:,.0f} B/trajectory accounted, "
         f"peak rss {result.peak_rss_bytes / (1024 * 1024):,.1f} MiB",
     ]

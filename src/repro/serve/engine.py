@@ -49,9 +49,28 @@ from ..obs.trace import get_tracer, trace_span
 from .batcher import MicroBatcher
 from .cache import EmbeddingCache, trajectory_key
 
-__all__ = ["ServeResult", "SimilarityServer"]
+__all__ = ["ServeResult", "SimilarityServer", "exact_metric_topk"]
 
 _LOG = get_logger("repro.serve.engine")
+
+
+def exact_metric_topk(
+    points: np.ndarray, subset: Sequence[np.ndarray], metric: MetricSpec, k: int
+) -> "tuple[np.ndarray, np.ndarray]":
+    """True-metric top-k of ``points`` against ``subset``: ``(order, dists)``.
+
+    One padded batch evaluation of ``metric`` followed by a stable
+    argsort, so ties resolve to the lowest subset index.  Shared by the
+    single-process degraded path and the sharded coordinator's
+    no-embedding fallback — both tiers must rank identically.
+    """
+    stacked, lengths = pad_trajectories([points] + list(subset))
+    q_stack = np.repeat(stacked[:1], len(subset), axis=0)
+    q_len = np.repeat(lengths[:1], len(subset))
+    dists = metric.batch(q_stack, stacked[1:], q_len, lengths[1:])
+    k_eff = min(k, len(subset))
+    order = np.argsort(dists, kind="stable")[:k_eff]
+    return order, np.asarray(dists[order], dtype=float)
 
 
 @dataclass
@@ -398,15 +417,10 @@ class SimilarityServer:
             )
         with span("serve-degraded"), trace_span("degraded") as deg_span:
             deg_span.set(reason=reason, scanned=len(subset))
-            stacked, lengths = pad_trajectories([points] + subset)
-            q_stack = np.repeat(stacked[:1], len(subset), axis=0)
-            q_len = np.repeat(lengths[:1], len(subset))
-            dists = self.fallback_metric.batch(q_stack, stacked[1:], q_len, lengths[1:])
-            k_eff = min(k, len(subset))
-            order = np.argsort(dists, kind="stable")[:k_eff]
+            order, dists = exact_metric_topk(points, subset, self.fallback_metric, k)
         return ServeResult(
             ids=np.asarray(order, dtype=int),
-            distances=np.asarray(dists[order], dtype=float),
+            distances=dists,
             degraded=True,
             cache_hit=cache_hit,
             source="degraded-exact",

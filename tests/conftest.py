@@ -27,6 +27,20 @@ def pytest_configure(config):
         lockstats.enable()
 
 
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--sanitize"):
+        # Spawned shard workers start fresh interpreters that do not
+        # inherit the in-process lock shims, so the sanitizer cannot
+        # observe them — and its timing overhead in the coordinator makes
+        # the spawn/deadline tests flaky.  Deterministically skip instead.
+        skip_shard = pytest.mark.skip(
+            reason="process-pool tests are outside the lock sanitizer's scope"
+        )
+        for item in items:
+            if "shard" in item.keywords:
+                item.add_marker(skip_shard)
+
+
 def pytest_sessionfinish(session, exitstatus):
     if session.config.getoption("--sanitize"):
         from repro.obs import lockstats

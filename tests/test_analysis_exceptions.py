@@ -685,6 +685,23 @@ class TestNeverRaisesContract:
             "hnsw" in esc.origin_module for esc in model.escapes[impl]
         )
 
+    def test_model_proves_sharded_topk_never_raises(self):
+        """The sharded coordinator carries the same contract as the engine.
+
+        ``ShardedSimilarityServer.topk`` must be proven raise-free even
+        though the scatter-gather path behind it can time out, lose
+        workers mid-request (``ShardDeadError``) and fail remote
+        encodes — the whole may-raise set has to be discharged by the
+        same last-resort structure the single-process engine uses.
+        """
+        model = _real_model()
+        contracted = {fn.key for fn in model.contracts}
+        topk = "src/repro/serve/shard.py::ShardedSimilarityServer.topk"
+        assert topk in contracted
+        assert model.escapes[topk] == set()
+        impl = "src/repro/serve/shard.py::ShardedSimilarityServer._topk_impl"
+        assert model.escapes[impl], "expected sharded _topk_impl to have escapes"
+
     def test_narrowed_catch_fails_with_the_propagation_chain(self, tmp_path):
         """Static/dynamic agreement, static side: un-guard topk -> E001.
 

@@ -1,0 +1,196 @@
+"""Shared-memory lifecycle tests for the sharded serving tier.
+
+The slab protocol (DESIGN.md §16): the coordinator owns one named
+``multiprocessing.shared_memory`` segment per shard, sliced into fixed
+slots; workers attach untracked (the coordinator is the sole owner) and
+only ever read.  Two things must hold for the content-hash embedding
+cache upstream to stay sound, and for long-lived servers not to bleed
+``/dev/shm``:
+
+- **bit-exactness** — a float64 payload read out of a slot is the byte
+  image of what was written (same shape, dtype and content digest);
+- **ownership** — every segment this module ever creates is unlinked by
+  ``close()``, whether workers exited cleanly or were SIGKILLed, and a
+  worker death can never destroy a segment the coordinator still serves
+  from.
+
+Slab-only tests run in-process; the ``@pytest.mark.shard`` ones
+round-trip payloads through real spawned workers.
+"""
+
+import glob
+
+import numpy as np
+import pytest
+
+from repro.obs import get_registry
+from repro.serve import FeatureEncoder, ShardedSimilarityServer, trajectory_key
+from repro.serve.shard import SHM_PREFIX, _ShmSlab, _read_slot
+
+
+def _segments():
+    """Names of live slab segments on this host (ours only, by prefix)."""
+    return sorted(glob.glob(f"/dev/shm/{SHM_PREFIX}-*"))
+
+
+def _trajs(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        rng.normal(size=(int(rng.integers(6, 12)), 2)).cumsum(axis=0)
+        for _ in range(n)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# The slab alone (no worker processes)
+# ---------------------------------------------------------------------------
+
+
+class TestShmSlab:
+    def test_write_read_round_trip_is_bit_exact(self):
+        slab = _ShmSlab(slots=4, slot_bytes=4096)
+        try:
+            rng = np.random.default_rng(0)
+            # Subnormals, infinities and negative zero must all survive:
+            # the content-hash cache keys on the exact byte image.
+            payload = rng.normal(size=(16, 8))
+            payload[0, 0] = np.inf
+            payload[0, 1] = -np.inf
+            payload[0, 2] = 5e-324  # smallest subnormal
+            payload[0, 3] = -0.0
+            slot = slab.acquire()
+            assert slot is not None
+            shape = slab.write(slot, payload)
+            assert shape == (16, 8)
+            out = _read_slot(slab._shm, slot, slab.slot_bytes, shape)
+            assert out.dtype == np.float64
+            assert out.tobytes() == payload.tobytes()
+            assert trajectory_key(out) == trajectory_key(payload)
+        finally:
+            slab.close()
+
+    def test_slots_exhaust_to_none_and_recycle(self):
+        slab = _ShmSlab(slots=2, slot_bytes=256)
+        try:
+            a, b = slab.acquire(), slab.acquire()
+            assert a is not None and b is not None and a != b
+            assert slab.acquire() is None  # exhausted, not blocking
+            slab.release(a)
+            assert slab.acquire() == a
+        finally:
+            slab.close()
+
+    def test_oversized_payload_is_rejected(self):
+        slab = _ShmSlab(slots=1, slot_bytes=64)
+        try:
+            slot = slab.acquire()
+            with pytest.raises(ValueError):
+                slab.write(slot, np.zeros(9))  # 72 B > 64 B slot
+        finally:
+            slab.close()
+
+    def test_close_unlinks_the_segment_and_is_idempotent(self):
+        before = set(_segments())
+        slab = _ShmSlab(slots=1, slot_bytes=64)
+        created = set(_segments()) - before
+        assert len(created) == 1
+        slab.close()
+        assert set(_segments()) == before
+        slab.close()  # second close is a no-op, not an error
+        with pytest.raises(ValueError):
+            slab.write(0, np.zeros(1))  # closed slab refuses writes
+
+
+# ---------------------------------------------------------------------------
+# Through real workers
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.shard
+def test_payload_round_trip_through_worker_is_bit_exact():
+    enc = FeatureEncoder(dim=4, seed=0)
+    srv = ShardedSimilarityServer(enc, dim=4, n_shards=1, shard_deadline_s=30.0)
+    try:
+        rng = np.random.default_rng(3)
+        for shape in [(7, 2), (128, 2), (1, 2)]:
+            payload = rng.normal(size=shape).cumsum(axis=0)
+            resp = srv.echo_shard(0, payload, timeout_s=30.0)
+            echoed = np.asarray(resp["data"])
+            assert echoed.dtype == np.float64
+            assert echoed.shape == shape
+            assert echoed.tobytes() == payload.tobytes()
+            # The worker hashed the bytes IT saw: digest equality proves
+            # the slab handed over the exact image, end to end.
+            assert resp["digest"] == trajectory_key(payload)
+    finally:
+        srv.close()
+
+
+@pytest.mark.shard
+def test_oversized_payload_falls_back_inline_and_stays_exact():
+    """Payloads past the slot size ship inline (slower, never wrong)."""
+    enc = FeatureEncoder(dim=4, seed=0)
+    srv = ShardedSimilarityServer(
+        enc, dim=4, n_shards=1, slot_bytes=256, shard_deadline_s=30.0
+    )
+    try:
+        overflow_before = get_registry().counter("serve.shard.slab_overflow").value
+        big = np.random.default_rng(4).normal(size=(600, 2))  # 9600 B > 256 B
+        resp = srv.echo_shard(0, big, timeout_s=30.0)
+        assert np.asarray(resp["data"]).tobytes() == big.tobytes()
+        assert resp["digest"] == trajectory_key(big)
+        assert (
+            get_registry().counter("serve.shard.slab_overflow").value
+            > overflow_before
+        )
+    finally:
+        srv.close()
+
+
+@pytest.mark.shard
+def test_no_segments_leak_after_clean_close():
+    before = set(_segments())
+    enc = FeatureEncoder(dim=4, seed=0)
+    srv = ShardedSimilarityServer(enc, dim=4, n_shards=2, shard_deadline_s=30.0)
+    assert len(set(_segments()) - before) == 2  # one slab per shard
+    srv.add_batch(_trajs(10))
+    srv.topk(_trajs(1, seed=8)[0], k=2)
+    srv.close()
+    assert set(_segments()) == before
+
+
+@pytest.mark.shard
+def test_no_segments_leak_after_worker_crash():
+    """SIGKILLed workers cannot unlink; the coordinator still must."""
+    before = set(_segments())
+    enc = FeatureEncoder(dim=4, seed=0)
+    srv = ShardedSimilarityServer(enc, dim=4, n_shards=2, shard_deadline_s=30.0)
+    srv.add_batch(_trajs(10, seed=1))
+    for handle in srv._handles:
+        handle.process.kill()
+        handle.process.join(timeout=10)
+    # Segments survive the workers' death: the coordinator can keep
+    # serving fallbacks from its retained blocks, then reclaims on close.
+    assert len(set(_segments()) - before) == 2
+    result = srv.topk(_trajs(1, seed=9)[0], k=2)
+    assert result.degraded
+    srv.close()
+    assert set(_segments()) == before
+
+
+@pytest.mark.shard
+def test_slots_recycle_and_none_leak_across_queries():
+    """After a serving burst every slab slot is back on the free list."""
+    enc = FeatureEncoder(dim=4, seed=0)
+    srv = ShardedSimilarityServer(
+        enc, dim=4, n_shards=2, slots=4, shard_deadline_s=30.0
+    )
+    try:
+        srv.add_batch(_trajs(12, seed=2))
+        for q in _trajs(10, seed=21):
+            assert not srv.topk(q, k=3).degraded
+        for handle in srv._handles:
+            assert not handle._pending
+            assert sorted(handle.slab._free) == [0, 1, 2, 3]
+    finally:
+        srv.close()
