@@ -2,7 +2,7 @@
 
 .PHONY: install test lint lint-json lint-concurrency lint-exceptions \
 	sanitize-test bench bench-fast bench-json bench-serve bench-shard \
-	bench-memory bench-check trace-demo verify regen-golden profile \
+	bench-memory bench-check trace-demo trace-shard-demo verify regen-golden profile \
 	profile-serve examples clean
 
 install:
@@ -100,12 +100,20 @@ bench-check:
 trace-demo:
 	PYTHONPATH=src python -m repro.cli trace --demo --top 3
 
-# The default verification path: lint (all families), the concurrency
-# and exception scopes on their own exit gates, tier-1 tests, the
-# sanitized serve subset, the bench-regression gate (perf + serve +
-# memory trajectories), and a profile-serve smoke run proving the
-# sampler produces a loadable profile.
-verify: lint lint-concurrency lint-exceptions test sanitize-test bench-check profile-serve
+# Run a small seeded 4-shard serve workload and print stitched
+# cross-process traces: per-shard subtrees (ipc-wait / slab-read /
+# search) grafted under the coordinator's serve.topk spans.
+trace-shard-demo:
+	PYTHONPATH=src python -m repro.cli trace --demo-shards 4 --top 3
+
+# The default verification path: lint (all families, including the
+# R010 trace-propagation rule), the concurrency and exception scopes on
+# their own exit gates, tier-1 tests, the sanitized serve subset, the
+# bench-regression gate (perf + serve + memory trajectories), a
+# profile-serve smoke run proving the sampler produces a loadable
+# profile, and a trace-shard-demo smoke run proving cross-process
+# stitching works end-to-end.
+verify: lint lint-concurrency lint-exceptions test sanitize-test bench-check profile-serve trace-shard-demo
 
 # Re-snapshot the golden trainer regression file after an INTENTIONAL
 # numeric change (review the diff before committing it).

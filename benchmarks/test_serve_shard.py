@@ -104,6 +104,54 @@ def test_shard_scatter_gather_throughput(benchmark, bench_record):
         assert result.sharded_qps > 0
 
 
+def test_tracing_overhead(benchmark, bench_record):
+    """Cross-process trace collection must stay within ~5% of throughput.
+
+    Runs the same sharded workload with tracing on (every request ships
+    a ``TraceContext`` and gets a stitched worker subtree back) and
+    tracing off (the null-trace path: identical wire shape, zero
+    recording), and records both qps plus the overhead percentage.  The
+    shared CI box is noisy, so after a warmup run the two arms
+    alternate for two rounds each and the *best* qps per arm is
+    compared — scheduler stalls hit both arms, best-of strips them.
+    The benchgate rule for ``tracing_overhead_pct`` caps drift at 5
+    percentage points over the committed baseline.
+    """
+    n_db, n_queries = (500, 60) if FAST else (2_000, 200)
+    kw = dict(
+        n_db=n_db,
+        n_queries=n_queries,
+        shards=2,
+        workers=2,
+        k=K,
+        seed=0,
+        enforce_slos=False,
+    )
+
+    def _run_rounds():
+        run_shard_bench(tracing=False, **{**kw, "n_queries": n_queries // 4})
+        rounds = []
+        for _ in range(2):
+            rounds.append(run_shard_bench(tracing=False, **kw))
+            rounds.append(run_shard_bench(tracing=True, **kw))
+        return rounds
+
+    rounds = benchmark.pedantic(_run_rounds, rounds=1, iterations=1)
+    assert all(r.dropped == 0 for r in rounds)
+    offs = [r for r in rounds if not r.shard_attribution]
+    ons = [r for r in rounds if r.shard_attribution]
+    assert len(offs) == 2, "untraced runs must not collect traces"
+    assert len(ons) == 2, "tracing runs must attribute per-shard time"
+    on_qps = max(r.sharded_qps for r in ons)
+    off_qps = max(r.sharded_qps for r in offs)
+    overhead = max(0.0, (off_qps - on_qps) / off_qps * 100.0)
+    bench_record(
+        tracing_on_qps=on_qps,
+        tracing_off_qps=off_qps,
+        tracing_overhead_pct=overhead,
+    )
+
+
 def test_shard_bench_survives_worker_death(benchmark, bench_record):
     """SIGKILL one worker mid-stream: nothing drops, answers stay exact."""
     n_db, n_queries, kill_at = (200, 60, 20) if FAST else (600, 120, 40)

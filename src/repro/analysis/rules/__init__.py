@@ -12,6 +12,9 @@ Importing this package registers every rule with
 - R008 (:mod:`.tracing`) — span/trace objects must be context-managed;
 - R009 (:mod:`.profiling`) — sampler/tracemalloc sessions must be
   released via ``with`` or a ``finally`` stop;
+- R010 (:mod:`.tracing`) — shard dispatch sites must propagate a
+  ``TraceContext`` (no dispatch dicts without ``trace_ctx``, no
+  discarded context tokens);
 - S001 (:mod:`.wiring`) — symbolic layer-dimension checking;
 - D001/D002 (:mod:`.differentiability`) — backward/gradcheck coverage and
   detach-free forward paths, audited over the cross-module call graph;

@@ -186,8 +186,9 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="benchmark the sharded process-pool tier with N worker processes "
         "instead of the single-process server (ignores --kind/--hidden-dim/"
-        "--traj-len/--deadline-ms/--trace-log: the sharded bench uses the "
-        "deterministic feature encoder over random walks)",
+        "--traj-len/--deadline-ms: the sharded bench uses the deterministic "
+        "feature encoder over random walks; --trace-log persists the "
+        "stitched cross-process traces)",
     )
     serve.add_argument(
         "--shard-strategy",
@@ -263,6 +264,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace.add_argument(
         "--name", default=None, help="only consider traces with this name"
+    )
+    trace.add_argument(
+        "--shard",
+        type=int,
+        default=None,
+        metavar="N",
+        help="only consider stitched traces that touched shard N (matches "
+        "grafted worker-side spans and the coordinator's shard-N spans)",
+    )
+    trace.add_argument(
+        "--demo-shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run a small seeded N-shard serve workload first so the ring "
+        "has stitched cross-process traces (overrides --demo)",
     )
 
     diff = sub.add_parser(
@@ -456,6 +473,7 @@ def _cmd_serve_bench(args) -> int:
             strategy=args.shard_strategy,
             seed=args.seed,
             metrics_out=args.metrics_out,
+            trace_log=args.trace_log,
         )
         if args.json:
             print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
@@ -535,6 +553,25 @@ def _run_demo_workload() -> None:
     run_serve_bench(n_db=12, n_queries=48, workers=4, naive_queries=4, seed=0)
 
 
+def _run_demo_shard_workload(shards: int) -> None:
+    """A small seeded sharded run so the ring has stitched traces."""
+    from .serve import run_shard_bench
+
+    run_shard_bench(
+        n_db=48, n_queries=24, shards=shards, workers=2, seed=0,
+        enforce_slos=False,
+    )
+
+
+def _trace_touches_shard(trace, shard: int) -> bool:
+    """Whether a stitched trace gathered from (or grafted spans of) ``shard``."""
+    marker = f"shard-{shard}"
+    for event in trace.events:
+        if event.get("shard") == shard or event.get("name") == marker:
+            return True
+    return False
+
+
 def _cmd_metrics(args) -> int:
     from .obs import get_registry, render_exposition
 
@@ -547,7 +584,9 @@ def _cmd_metrics(args) -> int:
 def _cmd_trace(args) -> int:
     from .obs import format_trace, get_tracer, read_trace_log
 
-    if args.demo:
+    if args.demo_shards > 0:
+        _run_demo_shard_workload(args.demo_shards)
+    elif args.demo:
         _run_demo_workload()
     if args.path is not None:
         try:
@@ -559,6 +598,8 @@ def _cmd_trace(args) -> int:
             traces = [t for t in traces if t.name == args.name]
     else:
         traces = get_tracer().recent(name=args.name)
+    if args.shard is not None:
+        traces = [t for t in traces if _trace_touches_shard(t, args.shard)]
     if not traces:
         hint = " (try --demo, or serve-bench --trace-log)" if args.path is None else ""
         print(f"no traces recorded{hint}")

@@ -16,12 +16,15 @@ when the measurement layer exists first.  This package provides it:
   loss/grad-norm/timing, final eval) written by ``repro-tmn train
   --log-json`` and rendered by ``repro-tmn report``;
 - :mod:`repro.obs.trace` — request-scoped traces (per-request span trees
-  with explicit cross-thread handoff, bounded recent-trace ring, JSONL
+  with explicit cross-thread handoff and cross-process stitching via
+  ``TraceContext``/``graft_subtree``, bounded recent-trace ring, JSONL
   trace log, critical-path rendering for ``repro-tmn trace``);
 - :mod:`repro.obs.expo` — Prometheus-style text exposition over the
-  registry (``repro-tmn metrics``);
+  registry (``repro-tmn metrics``), with scrape hooks for pull-time
+  refresh and a ``shard`` label dimension over ``serve.shard.N.*``;
 - :mod:`repro.obs.slo` — declarative SLOs (latency percentile, degraded
-  rate, drop rate) evaluated over the trace ring;
+  rate, drop rate, per-shard imbalance and straggler rate) evaluated
+  over the trace ring;
 - :mod:`repro.obs.benchgate` — bench-regression gate diffing fresh bench
   JSON against committed baselines (``repro-tmn bench-diff``);
 - :mod:`repro.obs.lockstats` — runtime lock sanitizer: instrumented
@@ -44,7 +47,12 @@ documented as such.  See DESIGN.md §9.
 """
 
 from .benchgate import BenchDiff, compare_bench, compare_bench_files
-from .expo import render_exposition
+from .expo import (
+    register_scrape_hook,
+    render_exposition,
+    run_scrape_hooks,
+    unregister_scrape_hook,
+)
 from .lockstats import (
     LockOrderError,
     LockStats,
@@ -75,11 +83,16 @@ from .spans import SpanRecorder, default_recorder, diff_totals, format_spans, sp
 from .trace import (
     Handoff,
     Trace,
+    TraceContext,
     Tracer,
     annotate,
+    begin_remote,
+    capture_context,
     current_trace,
+    export_subtree,
     format_trace,
     get_tracer,
+    graft_subtree,
     read_trace_log,
     trace_span,
 )
@@ -108,9 +121,12 @@ __all__ = [
     "SpanRecorder",
     "StackSampler",
     "Trace",
+    "TraceContext",
     "Tracer",
     "alloc_span",
     "annotate",
+    "begin_remote",
+    "capture_context",
     "check_slos",
     "compare_bench",
     "compare_bench_files",
@@ -119,6 +135,7 @@ __all__ = [
     "default_recorder",
     "diff_totals",
     "evaluate_slos",
+    "export_subtree",
     "format_memory",
     "format_op_table",
     "format_run",
@@ -130,6 +147,7 @@ __all__ = [
     "get_logger",
     "get_registry",
     "get_tracer",
+    "graft_subtree",
     "held_lock_names",
     "merge_stacks",
     "new_lock",
@@ -137,11 +155,14 @@ __all__ = [
     "peak_rss_bytes",
     "read_run",
     "read_trace_log",
+    "register_scrape_hook",
     "render_exposition",
     "rss_bytes",
+    "run_scrape_hooks",
     "span",
     "top_frames",
     "trace_span",
     "tracking_active",
+    "unregister_scrape_hook",
     "update_memory_gauges",
 ]

@@ -80,6 +80,10 @@ _RULES: Tuple[Tuple[re.Pattern, Tolerance], ...] = (
     (re.compile(r"_bytes$"), Tolerance("lower", rel=0.25, abs=4096.0)),
     # Wall-clock timings: machines vary; allow a generous one-sided band.
     (re.compile(r"(^|_)(seconds|latency)(_|$)|_s$|_ms$"), Tolerance("lower", rel=0.75, abs=0.05)),
+    # Trace-collection overhead (percentage points of sharded qps lost
+    # with tracing on): may drift at most 5 points above the committed
+    # baseline — the cross-process stitching must stay near-free.
+    (re.compile(r"^tracing_overhead_pct$"), Tolerance("lower", rel=0.0, abs=5.0)),
     # Throughput and speedups may only drop so far.
     (re.compile(r"(_qps$|^speedup$)"), Tolerance("higher", rel=0.40, abs=0.0)),
     # Quality scores (hit rate / recall / similar): small one-sided band.

@@ -305,8 +305,9 @@ def mirror_snapshot(
     instrument lands as a *gauge* (last-shipped-value-wins — a remote
     counter is a level from this process's point of view, and re-mirroring
     must overwrite, not accumulate); histograms contribute their
-    ``count`` and ``mean`` as two gauges.  Returns the number of gauges
-    written.
+    ``count``, ``mean`` and (when present) ``p50``/``p99`` quantiles as
+    gauges — the per-shard latency levels the fleet SLOs and the
+    shard-labelled exposition read.  Returns the number of gauges written.
     """
     registry = registry if registry is not None else get_registry()
     written = 0
@@ -321,6 +322,10 @@ def mirror_snapshot(
             registry.gauge(f"{prefix}{name}.count").set(payload["count"])
             registry.gauge(f"{prefix}{name}.mean").set(payload.get("mean", 0.0))
             written += 2
+            for key in ("p50", "p99"):
+                if key in payload:
+                    registry.gauge(f"{prefix}{name}.{key}").set(payload[key])
+                    written += 1
     return written
 
 

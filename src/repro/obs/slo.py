@@ -24,10 +24,19 @@ Spec kinds:
   exceed ``threshold``; this is how the memory budget
   (``mem.peak_rss_bytes``, ``serve.store.bytes_per_trajectory``) rides
   the same enforcement path as latency.
+- ``"shard_imbalance"`` — over stitched ``serve.topk`` traces, the
+  ``percentile``-th percentile of each trace's max/mean ratio of its
+  per-shard span durations (``shard-<N>`` children) must not exceed
+  ``threshold``: a balanced scatter-gather keeps every shard near the
+  mean, a hot shard drags the ratio up.
+- ``"straggler_rate"`` — the fraction of traces whose slowest shard
+  span exceeds the trace's median shard span by more than ``gap_s``
+  seconds must not exceed ``threshold``.
 """
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
@@ -40,6 +49,7 @@ __all__ = [
     "DEADLINE_SERVE_SLOS",
     "DEFAULT_MEMORY_SLOS",
     "DEFAULT_SERVE_SLOS",
+    "DEFAULT_SHARD_SLOS",
     "SLO",
     "SLOStatus",
     "SLOViolation",
@@ -49,7 +59,28 @@ __all__ = [
     "format_slos",
 ]
 
-_KINDS = ("latency", "degraded_rate", "drop_rate", "gauge_max")
+_KINDS = (
+    "latency",
+    "degraded_rate",
+    "drop_rate",
+    "gauge_max",
+    "shard_imbalance",
+    "straggler_rate",
+)
+
+#: The per-shard spans a stitched scatter-gather trace records.
+_SHARD_SPAN = re.compile(r"^shard-\d+$")
+
+
+def _shard_durations(trace: Trace) -> List[float]:
+    """Durations of one trace's ``shard-<N>`` spans (coordinator clock)."""
+    out: List[float] = []
+    for event in trace.events:
+        if event.get("end") is None:
+            continue
+        if _SHARD_SPAN.match(str(event.get("name", ""))):
+            out.append(float(event["end"]) - float(event["start"]))
+    return out
 
 
 @dataclass(frozen=True)
@@ -62,16 +93,22 @@ class SLO:
         Stable identifier shown in reports.
     kind:
         One of ``latency``, ``degraded_rate``, ``drop_rate``,
-        ``gauge_max``.
+        ``gauge_max``, ``shard_imbalance``, ``straggler_rate``.
     threshold:
         Upper bound: seconds for latency, a 0..1 ratio for the rates,
-        the gauge's own unit (bytes, usually) for ``gauge_max``.
+        the gauge's own unit (bytes, usually) for ``gauge_max``, a
+        max/mean ratio for ``shard_imbalance``.
     percentile:
-        Which latency percentile the bound applies to (latency only).
+        Which percentile the bound applies to (``latency`` and
+        ``shard_imbalance``).
     trace_name:
         Which traces the SLO is computed over (trace kinds only).
     metric:
         Which registry gauge the bound applies to (``gauge_max`` only).
+    gap_s:
+        Straggler definition for ``straggler_rate``: a trace counts as
+        stragglered when its slowest shard span exceeds the median
+        shard span by more than this many seconds.
     """
 
     name: str
@@ -80,6 +117,7 @@ class SLO:
     percentile: float = 99.0
     trace_name: str = "serve.topk"
     metric: Optional[str] = None
+    gap_s: float = 0.1
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
@@ -88,6 +126,8 @@ class SLO:
             raise ValueError("SLO threshold must be >= 0")
         if self.kind == "gauge_max" and not self.metric:
             raise ValueError("gauge_max SLOs must name a registry gauge via metric=")
+        if self.gap_s < 0:
+            raise ValueError("SLO gap_s must be >= 0")
 
 
 @dataclass
@@ -128,6 +168,20 @@ DEFAULT_SERVE_SLOS = (
 DEADLINE_SERVE_SLOS = (
     SLO(name="p99-latency", kind="latency", threshold=2.0, percentile=99.0),
     SLO(name="drop-rate", kind="drop_rate", threshold=0.0),
+)
+
+#: Fleet SLOs over stitched scatter-gather traces.  Thresholds are CI-safe
+#: by intent: on a loaded single-CPU box every shard's coordinator-side
+#: wait is dominated by the same gather window, so only a genuinely hot
+#: or hung shard moves these — which is exactly the regression to catch.
+DEFAULT_SHARD_SLOS = (
+    SLO(
+        name="shard-imbalance",
+        kind="shard_imbalance",
+        threshold=20.0,
+        percentile=99.0,
+    ),
+    SLO(name="straggler-rate", kind="straggler_rate", threshold=0.5, gap_s=0.25),
 )
 
 #: Memory-budget SLOs over the gauges ``memory_stats`` maintains.  The
@@ -189,6 +243,33 @@ def evaluate_slos(
             degraded = sum(1 for t in window if t.attrs.get("degraded"))
             value = degraded / len(window)
             statuses.append(SLOStatus(slo, value, len(window), value <= slo.threshold))
+        elif slo.kind == "shard_imbalance":
+            ratios: List[float] = []
+            for t in window:
+                durations = _shard_durations(t)
+                if len(durations) < 2:
+                    continue
+                mean = float(np.mean(durations))
+                if mean > 0:
+                    ratios.append(float(np.max(durations)) / mean)
+            if not ratios:
+                statuses.append(SLOStatus(slo, None, 0, True))
+                continue
+            value = float(np.percentile(ratios, slo.percentile))
+            statuses.append(SLOStatus(slo, value, len(ratios), value <= slo.threshold))
+        elif slo.kind == "straggler_rate":
+            gaps: List[float] = []
+            for t in window:
+                durations = _shard_durations(t)
+                if len(durations) < 2:
+                    continue
+                gaps.append(float(np.max(durations) - np.median(durations)))
+            if not gaps:
+                statuses.append(SLOStatus(slo, None, 0, True))
+                continue
+            stragglers = sum(1 for gap in gaps if gap > slo.gap_s)
+            value = stragglers / len(gaps)
+            statuses.append(SLOStatus(slo, value, len(gaps), value <= slo.threshold))
         else:  # drop_rate
             requests = float((totals or {}).get("requests", 0))
             dropped = float((totals or {}).get("dropped", 0))

@@ -17,6 +17,23 @@ used for the shared batched forward) or re-binds the trace as *current*
 for a block (:meth:`Handoff.resume`), so queue-wait and forward time are
 attributed to the request that paid for them, not to the flush thread.
 
+Cross-*process* handoff builds on the same idea with an explicit wire
+format: the dispatching side captures a :class:`TraceContext` (trace id
++ parent span id + clock offset) and ships it inside the request
+message; the worker process opens a detached subtree via
+:func:`begin_remote`, records its own spans (reusing :class:`Handoff`
+for its local queue hops), serialises them with :func:`export_subtree`
+and returns them alongside the answer; the coordinator stitches the
+subtree under the request's own span with :func:`graft_subtree` —
+remapping span ids, applying the clock offset, sanitising non-finite
+attribute values and truncating oversized subtrees into
+``dropped_events``.  Grafted events carry the owning shard id so the
+renderer can show which process a span ran in (``s3:queue-wait``).
+Timestamp comparability relies on ``time.perf_counter`` being
+CLOCK_MONOTONIC shared across processes (true on Linux); the context's
+``clock_offset`` is the explicit correction knob when it is not (see
+DESIGN.md §17 for the caveats).
+
 Finished traces land in a bounded in-memory ring (newest evicts oldest)
 and, when configured, are mirrored to a JSONL trace log, one trace per
 line.  ``repro-tmn trace`` renders the slowest recent traces as a
@@ -36,26 +53,79 @@ integers, so tests with a fake clock get byte-identical render output.
 from __future__ import annotations
 
 import json
+import math
 import threading
 import time
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 __all__ = [
     "Handoff",
     "Trace",
+    "TraceContext",
     "TraceSpan",
     "Tracer",
     "annotate",
+    "begin_remote",
+    "capture_context",
     "current_trace",
+    "export_subtree",
     "format_trace",
     "get_tracer",
+    "graft_subtree",
     "read_trace_log",
     "trace_span",
 ]
 
 #: Root span id: the trace itself acts as the parent of top-level spans.
 ROOT = 0
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Serializable cross-process trace context: what ships with a request.
+
+    The process-boundary analogue of :class:`Handoff`: the dispatching
+    side captures one (:func:`capture_context`), serialises it into the
+    request message (:meth:`to_wire`), and the worker rebuilds it
+    (:meth:`from_wire`) to anchor its own span subtree.
+
+    Attributes
+    ----------
+    trace_id:
+        Id of the originating trace; :func:`graft_subtree` refuses a
+        subtree whose context named a different trace.
+    parent_span_id:
+        Span id on the origin side the remote work is causally under
+        (informational — the coordinator picks the actual graft point,
+        normally the per-shard gather span).
+    clock_offset:
+        Seconds to *add* to remote timestamps to land on the origin
+        clock.  Defaults to 0.0: ``time.perf_counter`` is shared
+        CLOCK_MONOTONIC across processes on Linux.
+    """
+
+    trace_id: str
+    parent_span_id: int = ROOT
+    clock_offset: float = 0.0
+
+    def to_wire(self) -> dict:
+        """Plain-dict form safe to pickle into a request message."""
+        return {
+            "trace_id": self.trace_id,
+            "parent_span_id": int(self.parent_span_id),
+            "clock_offset": float(self.clock_offset),
+        }
+
+    @classmethod
+    def from_wire(cls, data: dict) -> "TraceContext":
+        """Rebuild a context from its :meth:`to_wire` dict."""
+        return cls(
+            trace_id=str(data.get("trace_id", "t?")),
+            parent_span_id=int(data.get("parent_span_id", ROOT)),
+            clock_offset=float(data.get("clock_offset", 0.0)),
+        )
 
 
 class TraceSpan:
@@ -235,6 +305,37 @@ class Trace:
         parent = stack[-1].span_id if stack and stack[-1]._trace is self else ROOT
         return Handoff(self, parent, self._tracer._clock(), self._tracer)
 
+    def context(self, clock_offset: float = 0.0) -> TraceContext:
+        """Capture a cross-process :class:`TraceContext` at the current span."""
+        stack = self._tracer._stack()
+        parent = stack[-1].span_id if stack and stack[-1]._trace is self else ROOT
+        return TraceContext(self.trace_id, parent, clock_offset)
+
+    def record_span(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        parent_id: Optional[int] = None,
+        **attrs,
+    ) -> int:
+        """Record one finished span with explicit timestamps; returns its id.
+
+        ``parent_id`` defaults to the calling thread's current span of
+        this trace (the same parenting rule as :meth:`span`).  Used by
+        the scatter-gather coordinator, which only knows a shard span's
+        interval after the gather resolved and needs the id back to
+        graft the worker's subtree under it.
+        """
+        if parent_id is None:
+            stack = self._tracer._stack()
+            parent_id = (
+                stack[-1].span_id if stack and stack[-1]._trace is self else ROOT
+            )
+        span_id = self._next_span_id()
+        self._record(span_id, parent_id, name, start, end, attrs)
+        return span_id
+
     def set(self, **attrs) -> "Trace":
         """Attach ``key=value`` attributes to the trace root; returns self."""
         self.attrs.update(attrs)
@@ -325,6 +426,8 @@ class _NullSpan:
     """No-op stand-in returned by :func:`trace_span` with no active trace."""
 
     __slots__ = ()
+    #: Inert id so graft call-sites can read ``span.span_id`` unconditionally.
+    span_id = ROOT
 
     def set(self, **attrs) -> "_NullSpan":
         """Ignore attributes (no trace is recording)."""
@@ -338,6 +441,97 @@ class _NullSpan:
 
 
 _NULL_SPAN = _NullSpan()
+
+
+class _NullTrace:
+    """Inert :class:`Trace` stand-in handed out while the tracer is disabled.
+
+    Presents the full recording surface (``set`` / ``span`` /
+    ``record_span`` / ``handoff`` / ``context``) as no-ops so
+    instrumented code paths — including the never-raises serving
+    contract — run unchanged with tracing off.  It is never bound as
+    *current* (the span stack stays empty), so :func:`current_trace`
+    returns None and downstream handoff capture short-circuits too.
+    """
+
+    __slots__ = ()
+    trace_id = "t-disabled"
+    name = "<disabled>"
+
+    def set(self, **attrs) -> "_NullTrace":
+        """Ignore attributes (tracing is disabled)."""
+        return self
+
+    def span(self, name: str, **attrs) -> _NullSpan:
+        """A no-op span context manager."""
+        return _NULL_SPAN
+
+    def record_span(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        parent_id: Optional[int] = None,
+        **attrs,
+    ) -> int:
+        """Record nothing; returns :data:`ROOT` as the placeholder id."""
+        return ROOT
+
+    def handoff(self) -> "_NullHandoff":
+        """A no-op cross-thread continuation token."""
+        return _NULL_HANDOFF
+
+    def context(self, clock_offset: float = 0.0) -> None:
+        """No cross-process context while disabled (callers ship None)."""
+        return None
+
+
+class _NullHandoff:
+    """No-op :class:`Handoff` twin returned by :meth:`_NullTrace.handoff`."""
+
+    __slots__ = ()
+
+    def record(self, name: str, start: float, end: float, **attrs) -> None:
+        """Record nothing."""
+        return None
+
+    def record_wait(self, name: str = "queue-wait", end: Optional[float] = None, **attrs) -> None:
+        """Record nothing."""
+        return None
+
+    def resume(self, wait_name: Optional[str] = "queue-wait") -> "_NullResumed":
+        """A context manager yielding the inert trace."""
+        return _NULL_RESUMED
+
+
+class _NullResumed:
+    """Context manager returned by :meth:`_NullHandoff.resume`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NullTrace:
+        return _NULL_TRACE
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+class _NullTraceContext:
+    """Context manager returned by :meth:`Tracer.trace` while disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NullTrace:
+        return _NULL_TRACE
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NULL_TRACE = _NullTrace()
+_NULL_HANDOFF = _NullHandoff()
+_NULL_RESUMED = _NullResumed()
+_NULL_TRACE_CONTEXT = _NullTraceContext()
 
 
 class Tracer:
@@ -367,6 +561,7 @@ class Tracer:
         self._ring_size = ring_size
         self._counter = 0
         self._log_file = None
+        self._enabled = True
         #: thread ident -> stack of open root-trace names; the innermost
         #: one is that thread's current *phase* (read cross-thread by the
         #: wall-clock sampler to attribute samples to serve.topk etc.).
@@ -431,8 +626,31 @@ class Tracer:
                 self._log_file.flush()
 
     # -- public API -----------------------------------------------------
-    def trace(self, name: str, **attrs) -> _TraceContext:
+    @property
+    def enabled(self) -> bool:
+        """Whether :meth:`trace` opens real traces (True by default)."""
+        # Lock-free bool read: GIL-atomic, and a stale read only means one
+        # extra (or one missed) trace around the toggle instant.
+        return self._enabled  # lint: allow(C002)
+
+    def set_enabled(self, enabled: bool) -> bool:
+        """Toggle tracing; returns the previous state.
+
+        While disabled, :meth:`trace` hands out an inert trace with the
+        full recording surface as no-ops — instrumented code runs
+        unchanged, nothing lands in the ring or the log.  Already-open
+        real traces are unaffected.  This is how the sharded bench
+        measures trace-collection overhead (qps with tracing on vs off).
+        """
+        with self._lock:
+            previous = self._enabled
+            self._enabled = bool(enabled)
+        return previous
+
+    def trace(self, name: str, **attrs) -> Union[_TraceContext, _NullTraceContext]:
         """Open a new root trace bound to the calling thread for the block."""
+        if not self._enabled:  # lint: allow(C002)
+            return _NULL_TRACE_CONTEXT
         return _TraceContext(self, name, attrs)
 
     def current(self) -> Optional[Trace]:
@@ -532,6 +750,172 @@ def read_trace_log(path: Union[str, Path]) -> List[Trace]:
 
 
 # ----------------------------------------------------------------------
+# Cross-process stitching: capture -> remote subtree -> export -> graft.
+
+
+def capture_context(
+    tracer: Optional[Tracer] = None, clock_offset: float = 0.0
+) -> Optional[TraceContext]:
+    """The calling thread's :class:`TraceContext`, or None when not tracing.
+
+    The dispatch-side half of cross-process tracing: serialise the
+    result (``ctx.to_wire()``) into the request message.  Returns None
+    when no trace is active (or tracing is disabled) so dispatch sites
+    can ship ``None`` and workers skip subtree recording entirely.
+    """
+    tracer = tracer if tracer is not None else _DEFAULT
+    trace = tracer.current()
+    if trace is None:
+        return None
+    return trace.context(clock_offset)
+
+
+def begin_remote(
+    ctx: Optional[TraceContext],
+    name: str = "remote",
+    tracer: Optional[Tracer] = None,
+    start: Optional[float] = None,
+) -> Union[Trace, _NullTrace]:
+    """Open a *detached* worker-side subtree for one cross-process request.
+
+    The returned :class:`Trace` shares the originating trace's id but is
+    never registered in any ring or log — it exists only to collect this
+    request's worker-side spans (via :meth:`Trace.span`,
+    :meth:`Trace.record_span` or the :class:`Handoff` machinery) until
+    :func:`export_subtree` serialises them for the response message.
+
+    ``ctx=None`` (an untraced request) returns the inert null trace, so
+    worker handlers instrument unconditionally and pay nothing when the
+    coordinator was not tracing.
+    """
+    if ctx is None:
+        return _NULL_TRACE
+    tracer = tracer if tracer is not None else _DEFAULT
+    start = start if start is not None else tracer._clock()
+    return Trace(ctx.trace_id, name, tracer, start)
+
+
+def export_subtree(trace: Trace) -> dict:
+    """Serialise a detached subtree's events for the response message.
+
+    The inverse half is :func:`graft_subtree` on the coordinator; the
+    payload is a plain dict (picklable over an ``mp.Queue``) carrying
+    the trace id (so a mismatched graft can be refused), the raw span
+    events with worker-local ids, and the worker-side dropped count.
+    """
+    with trace._lock:
+        events = [dict(e) for e in trace.events]
+        dropped = trace.dropped_events
+    return {"trace_id": trace.trace_id, "events": events, "dropped": dropped}
+
+
+def _sanitize_attrs(attrs: dict) -> dict:
+    """Attrs with non-finite floats replaced by their repr strings.
+
+    A worker can legitimately compute ``nan``/``inf`` attribute values
+    (an empty-shard mean, a div-by-zero rate); strict JSON cannot carry
+    them, so the graft turns them into ``"nan"``/``"inf"`` strings
+    rather than poisoning the whole trace-log line.
+    """
+    clean: dict = {}
+    for key, value in attrs.items():
+        if isinstance(value, float) and not math.isfinite(value):
+            clean[str(key)] = repr(value)
+        else:
+            clean[str(key)] = value
+    return clean
+
+
+def graft_subtree(
+    trace: Trace,
+    parent_id: int,
+    payload: object,
+    clock_offset: float = 0.0,
+    shard: Optional[int] = None,
+    max_spans: int = 256,
+) -> int:
+    """Stitch an exported worker subtree under ``parent_id``; returns spans kept.
+
+    The coordinator-side half of cross-process tracing.  Worker-local
+    span ids are remapped onto this trace's sequence (id order is
+    preserved, so remote parents stay below their children); remote
+    parents outside the subtree re-anchor to ``parent_id``;
+    ``clock_offset`` shifts every remote timestamp onto the origin
+    clock; attrs are sanitised via non-finite → repr strings; every
+    grafted event is tagged with the owning ``shard`` id (rendered as
+    ``s<shard>:<name>``).  Oversized subtrees are truncated to
+    ``max_spans`` (lowest ids — the outermost spans — survive) and the
+    excess, the worker-side drops, and any malformed events are counted
+    into :attr:`Trace.dropped_events`.  A payload naming a different
+    trace id grafts nothing.  Never raises on malformed payloads: the
+    serving path calls this inside the never-raises contract.
+    """
+    if not isinstance(payload, dict):
+        return 0
+    events = payload.get("events")
+    events = list(events) if isinstance(events, (list, tuple)) else []
+    dropped = 0
+    try:
+        dropped += int(payload.get("dropped", 0) or 0)
+    except (TypeError, ValueError):
+        dropped += 1
+    if str(payload.get("trace_id")) != trace.trace_id:
+        # Wrong request's subtree: refuse the graft, surface the loss.
+        with trace._lock:
+            trace.dropped_events += len(events) + dropped
+        return 0
+    def _sort_id(event: object) -> int:
+        # Defensive: a malformed event must not break the sort (the id
+        # could be anything picklable); it is dropped in the loop below.
+        try:
+            return int(event["id"])  # type: ignore[index]
+        except (TypeError, ValueError, KeyError):
+            return 0
+
+    events.sort(key=_sort_id)
+    if len(events) > max_spans:
+        dropped += len(events) - max_spans
+        events = events[:max_spans]
+    id_map: Dict[int, int] = {}
+    grafted = 0
+    for event in events:
+        try:
+            old_id = int(event["id"])
+            old_parent = int(event.get("parent", ROOT))
+            start = float(event.get("start", 0.0)) + clock_offset
+            end = float(event.get("end", start - clock_offset)) + clock_offset
+            name = str(event.get("name", "?"))
+            attrs = _sanitize_attrs(dict(event.get("attrs") or {}))
+            thread = str(event.get("thread", "remote"))
+        except (TypeError, ValueError, KeyError):
+            dropped += 1
+            continue
+        new_id = trace._next_span_id()
+        id_map[old_id] = new_id
+        out = {
+            "id": new_id,
+            "parent": id_map.get(old_parent, parent_id),
+            "name": name,
+            "start": start,
+            "end": end,
+            "thread": thread,
+            "attrs": attrs,
+        }
+        if shard is not None:
+            out["shard"] = int(shard)
+        with trace._lock:
+            if trace.end is not None or len(trace.events) >= trace.max_events:
+                dropped += 1
+                continue
+            trace.events.append(out)
+        grafted += 1
+    if dropped:
+        with trace._lock:
+            trace.dropped_events += dropped
+    return grafted
+
+
+# ----------------------------------------------------------------------
 # Rendering: critical-path trees for `repro-tmn trace`.
 
 
@@ -588,8 +972,14 @@ def format_trace(trace: Trace, deadline_s: Optional[float] = None) -> str:
                 if deadline_s
                 else ""
             )
+            # Process-crossing spans carry the shard id they ran on.
+            label = (
+                f"s{event['shard']}:{event['name']}"
+                if "shard" in event
+                else event["name"]
+            )
             lines.append(
-                f"{mark} {'  ' * depth}{event['name']:<{24 - 2 * depth}s}"
+                f"{mark} {'  ' * depth}{label:<{max(24 - 2 * depth, 1)}s}"
                 f"{seconds * 1e3:9.2f}ms {share * 100:5.1f}%"
                 f"{budget}{_fmt_attrs(event['attrs'])}"
             )

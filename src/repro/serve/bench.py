@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import json
 import os
+import re
 import sys
 import threading
 import time
@@ -36,6 +37,7 @@ from ..obs.slo import (
     DEADLINE_SERVE_SLOS,
     DEFAULT_MEMORY_SLOS,
     DEFAULT_SERVE_SLOS,
+    DEFAULT_SHARD_SLOS,
     SLO,
     SLOStatus,
     assert_slos,
@@ -427,6 +429,10 @@ class ShardBenchResult:
     slo_statuses: List[SLOStatus] = field(default_factory=list)
     bytes_per_trajectory: float = 0.0
     peak_rss_bytes: float = 0.0
+    #: Per-shard time attribution aggregated over the run's stitched
+    #: traces: mean coordinator wait vs worker-side ipc/search time plus
+    #: dead/deadline counts, keyed by shard id (empty with tracing off).
+    shard_attribution: Dict[int, Dict[str, float]] = field(default_factory=dict)
 
     @property
     def slo_ok(self) -> bool:
@@ -491,6 +497,64 @@ def _make_walks(
         starts[i] + np.cumsum(steps[offsets[i] : offsets[i + 1]], axis=0)
         for i in range(n)
     ]
+
+
+_SHARD_SPAN_NAME = re.compile(r"^shard-(\d+)$")
+
+
+def _shard_attribution(traces) -> Dict[int, Dict[str, float]]:
+    """Aggregate per-shard time attribution over stitched serve traces.
+
+    For every shard: how long the coordinator waited on it (``shard-N``
+    span, coordinator clock), where that time went on the worker side
+    (grafted ``ipc-wait`` and ``search`` spans), and how often it was
+    declared dead or blew the gather deadline.  Means are reported so
+    shards with different gather counts stay comparable.
+    """
+    acc: Dict[int, Dict[str, float]] = {}
+
+    def row(shard: int) -> Dict[str, float]:
+        return acc.setdefault(
+            int(shard),
+            {
+                "gathers": 0.0,
+                "wait_s": 0.0,
+                "ipc_s": 0.0,
+                "search_s": 0.0,
+                "dead": 0.0,
+                "deadline": 0.0,
+            },
+        )
+
+    for trace in traces:
+        for event in trace.events:
+            end = event.get("end")
+            if end is None:
+                continue
+            duration = float(end) - float(event["start"])
+            name = str(event.get("name", ""))
+            shard = event.get("shard")
+            if shard is not None:
+                if name == "ipc-wait":
+                    row(shard)["ipc_s"] += duration
+                elif name == "search":
+                    row(shard)["search_s"] += duration
+                continue
+            match = _SHARD_SPAN_NAME.match(name)
+            if match is None:
+                continue
+            entry = row(match.group(1))
+            entry["gathers"] += 1.0
+            entry["wait_s"] += duration
+            result = event.get("attrs", {}).get("result")
+            if result in ("dead", "deadline"):
+                entry[result] += 1.0
+    for entry in acc.values():
+        gathers = max(entry["gathers"], 1.0)
+        entry["mean_wait_s"] = entry["wait_s"] / gathers
+        entry["mean_ipc_s"] = entry["ipc_s"] / gathers
+        entry["mean_search_s"] = entry["search_s"] / gathers
+    return acc
 
 
 def _drive_closed_loop(
@@ -559,6 +623,8 @@ def run_shard_bench(
     slos: Optional[Sequence[SLO]] = None,
     enforce_slos: bool = True,
     metrics_out: Optional[str] = None,
+    trace_log: Optional[str] = None,
+    tracing: bool = True,
 ) -> ShardBenchResult:
     """Run the sharded serving benchmark and return its measurements.
 
@@ -581,6 +647,13 @@ def run_shard_bench(
     The encode substrate is the cheap deterministic
     :class:`~repro.serve.shard.FeatureEncoder` — the bench measures
     index/IPC/GIL behaviour, so encode cost must not dominate either arm.
+
+    ``trace_log`` persists every stitched ``serve.topk`` trace to JSONL
+    (same contract as :func:`run_serve_bench`); ``tracing=False`` runs
+    the sharded phase with the tracer disabled — the arm the
+    trace-collection overhead number in ``BENCH_serve.json`` compares
+    against.  With tracing on, the result carries a per-shard
+    time-attribution table aggregated from the stitched traces.
     """
     from ..index.hnsw import HNSWIndex
     from .shard import FeatureEncoder, ShardedSimilarityServer, _shard_search, merge_topk
@@ -591,6 +664,9 @@ def run_shard_bench(
     encoder = FeatureEncoder(dim=dim, seed=seed)
     registry = get_registry()
     tracer = get_tracer()
+    tracing_before = tracer.set_enabled(tracing)
+    if trace_log is not None:
+        tracer.configure(log_path=trace_log)
     cpu_count = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else (
         os.cpu_count() or 1
     )
@@ -627,6 +703,13 @@ def run_shard_bench(
         dropped = n_queries - completed
         degraded = sum(1 for r in results if r is not None and r.degraded)
         latencies = sorted(r.seconds for r in results if r is not None)
+        # Per-shard time attribution from the stitched traces, while the
+        # sharded phase's traces are still the newest in the ring.
+        shard_attribution = _shard_attribution(
+            tracer.recent(n=n_queries, name="serve.topk") if tracing else ()
+        )
+        if trace_log is not None:
+            tracer.configure(log_path=None)  # flush + close the JSONL log
 
         # --- correctness riders (non-timed) --------------------------------
         # Exact reference: the coordinator's retained embedding blocks,
@@ -680,7 +763,11 @@ def run_shard_bench(
         # --- memory + SLOs over the sharded phase --------------------------
         memory = server.memory_stats(registry=registry)
         if slos is None:
-            slos = tuple(DEFAULT_SERVE_SLOS) + tuple(DEFAULT_MEMORY_SLOS)
+            slos = (
+                tuple(DEFAULT_SERVE_SLOS)
+                + tuple(DEFAULT_SHARD_SLOS)
+                + tuple(DEFAULT_MEMORY_SLOS)
+            )
         slo_statuses = check_slos(
             slos,
             tracer=tracer,
@@ -727,6 +814,7 @@ def run_shard_bench(
             slo_statuses=list(slo_statuses),
             bytes_per_trajectory=float(memory["bytes_per_trajectory"]),
             peak_rss_bytes=float(memory["peak_rss_bytes"]),
+            shard_attribution=shard_attribution,
         )
         # Persist the registry snapshot BEFORE enforcing SLOs: a breach
         # must not cost us the measurements that explain it.
@@ -736,6 +824,9 @@ def run_shard_bench(
         return result
     finally:
         sys.setswitchinterval(switch_before)
+        tracer.set_enabled(tracing_before)
+        if trace_log is not None:
+            tracer.configure(log_path=None)
         server.close()
 
 
@@ -760,6 +851,18 @@ def format_shard_bench(result: ShardBenchResult) -> str:
         f"  memory    {result.bytes_per_trajectory:,.0f} B/trajectory accounted, "
         f"peak rss {result.peak_rss_bytes / (1024 * 1024):,.1f} MiB",
     ]
+    if result.shard_attribution:
+        lines.append(
+            "  shard      gathers   wait-ms    ipc-ms  search-ms   dead  deadline"
+        )
+        for shard in sorted(result.shard_attribution):
+            row = result.shard_attribution[shard]
+            lines.append(
+                f"  shard-{shard:<4d} {row['gathers']:8.0f}  "
+                f"{row['mean_wait_s'] * 1e3:8.2f}  {row['mean_ipc_s'] * 1e3:8.2f}  "
+                f"{row['mean_search_s'] * 1e3:9.2f}  {row['dead']:5.0f}  "
+                f"{row['deadline']:8.0f}"
+            )
     if result.slo_statuses:
         lines.append(format_slos(result.slo_statuses))
     return "\n".join(lines)

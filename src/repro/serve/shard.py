@@ -58,10 +58,18 @@ import numpy as np
 
 from ..index.hnsw import HNSWIndex
 from ..metrics import MetricSpec, get_metric
+from ..obs.expo import register_scrape_hook, unregister_scrape_hook
 from ..obs.lockstats import new_lock
 from ..obs.log import get_logger
 from ..obs.metrics import get_registry, mirror_snapshot
-from ..obs.trace import get_tracer
+from ..obs.trace import (
+    ROOT,
+    TraceContext,
+    begin_remote,
+    export_subtree,
+    get_tracer,
+    graft_subtree,
+)
 from .batcher import MicroBatcher
 from .cache import EmbeddingCache, trajectory_key
 from .engine import ServeResult, exact_metric_topk
@@ -421,6 +429,31 @@ def _worker_payload(
     return np.asarray(msg["data"], dtype=np.float64)
 
 
+def _request_context(msg: dict) -> Optional[TraceContext]:
+    """The cross-process trace context a request carried, if any.
+
+    Every dispatch site ships a ``trace_ctx`` key (R010 enforces this);
+    it is None when the coordinator was not tracing, in which case the
+    worker's subtree machinery collapses to no-ops.
+    """
+    wire = msg.get("trace_ctx")
+    return TraceContext.from_wire(wire) if wire else None
+
+
+def _record_ipc_wait(rtrace, ctx: Optional[TraceContext], msg: dict, received: float) -> None:
+    """Stamp the request's IPC queue wait onto the worker subtree.
+
+    The interval between the coordinator's ``sent_at`` stamp (mapped
+    into this process's clock via the context's ``clock_offset``) and
+    the worker picking the message up — distinct from the *batcher*
+    queue-wait the Handoff machinery records on the encode path.
+    """
+    if ctx is None:
+        return
+    sent_local = msg.get("sent_at", received) - ctx.clock_offset
+    rtrace.record_span("ipc-wait", min(sent_local, received), received, parent_id=ROOT)
+
+
 def _handle_worker_msg(
     msg: dict,
     spec: _ShardSpec,
@@ -438,45 +471,72 @@ def _handle_worker_msg(
     seq = msg["seq"]
     received = time.perf_counter()
     if cmd == "search":
-        if hooks.get("search_delay_s"):
-            time.sleep(hooks["search_delay_s"])
-        embedding = _worker_payload(msg, shm, slot_bytes)
-        start = time.perf_counter()
-        sq, found = _shard_search(
-            index, np.asarray(gids, dtype=int), embedding, msg["k"], spec
-        )
-        response_q.put(
-            {
-                "seq": seq,
-                "dists": sq,
-                "gids": found,
-                "n": len(index),
-                "search_s": time.perf_counter() - start,
-                # perf_counter is CLOCK_MONOTONIC, shared across processes
-                # on Linux: queue wait as seen from the worker side.
-                "wait_s": max(received - msg.get("sent_at", received), 0.0),
-            }
-        )
+        ctx = _request_context(msg)
+        rtrace = begin_remote(ctx, name="shard.search")
+        _record_ipc_wait(rtrace, ctx, msg, received)
+        with rtrace.handoff().resume(wait_name=None):
+            with rtrace.span("slab-read"):
+                embedding = _worker_payload(msg, shm, slot_bytes)
+            start = time.perf_counter()
+            # HNSW's own annotate() calls land on this span while the
+            # subtree is bound current (hnsw_candidates / ef attribution).
+            with rtrace.span("search") as search_span:
+                if hooks.get("search_delay_s"):
+                    time.sleep(hooks["search_delay_s"])
+                sq, found = _shard_search(
+                    index, np.asarray(gids, dtype=int), embedding, msg["k"], spec
+                )
+                search_span.set(n=len(index))
+        resp = {
+            "seq": seq,
+            "dists": sq,
+            "gids": found,
+            "n": len(index),
+            "search_s": time.perf_counter() - start,
+            # perf_counter is CLOCK_MONOTONIC, shared across processes
+            # on Linux: queue wait as seen from the worker side.
+            "wait_s": max(received - msg.get("sent_at", received), 0.0),
+        }
+        if ctx is not None:
+            resp["trace"] = export_subtree(rtrace)
+        response_q.put(resp)
     elif cmd == "encode":
+        ctx = _request_context(msg)
+        rtrace = begin_remote(ctx, name="shard.encode")
+        _record_ipc_wait(rtrace, ctx, msg, received)
         if hooks.get("encode_delay_s"):
             time.sleep(hooks["encode_delay_s"])
-        traj = _worker_payload(msg, shm, slot_bytes)
-        future = batcher.submit(traj)
+        # Binding the subtree current across submit() makes the batcher
+        # capture its handoff, so the flush thread's queue-wait and
+        # batched-forward stamps land inside this request's subtree.
+        with rtrace.handoff().resume(wait_name=None):
+            with rtrace.span("slab-read"):
+                traj = _worker_payload(msg, shm, slot_bytes)
+            future = batcher.submit(traj)
 
         def _deliver(done: Future, seq: int = seq, t0: float = received) -> None:
-            """Post the batched-encode outcome back on the response queue."""
+            """Post the batched-encode outcome back on the response queue.
+
+            Runs on the flush thread *after* it stamped the queue-wait
+            and forward spans, so the exported subtree is complete.
+            """
             try:
                 embedding = done.result()
             except BaseException as exc:  # lint: allow(E002) callback boundary
                 _LOG.warning("shard-encode-failed", error=type(exc).__name__)
-                response_q.put(
-                    {"seq": seq, "error": f"{type(exc).__name__}: {exc}"}
-                )
+                resp = {"seq": seq, "error": f"{type(exc).__name__}: {exc}"}
+                if ctx is not None:
+                    resp["trace"] = export_subtree(rtrace)
+                response_q.put(resp)
                 return
-            response_q.put(
-                {"seq": seq, "embedding": np.asarray(embedding, dtype=np.float64),
-                 "worker_s": time.perf_counter() - t0}
-            )
+            resp = {
+                "seq": seq,
+                "embedding": np.asarray(embedding, dtype=np.float64),
+                "worker_s": time.perf_counter() - t0,
+            }
+            if ctx is not None:
+                resp["trace"] = export_subtree(rtrace)
+            response_q.put(resp)
 
         future.add_done_callback(_deliver)
     elif cmd == "add_batch":
@@ -711,6 +771,9 @@ class ShardedSimilarityServer:
     slots / slot_bytes:
         Shared-memory slab geometry per worker (payloads larger than a
         slot fall back to inline pickling).
+    stats_ttl_s:
+        Minimum age before a Prometheus scrape re-pulls worker registry
+        snapshots (see :meth:`refresh_shard_telemetry`).
     """
 
     def __init__(
@@ -734,6 +797,7 @@ class ShardedSimilarityServer:
         slots: int = 64,
         slot_bytes: int = 32768,
         build_timeout_s: float = 600.0,
+        stats_ttl_s: float = 1.0,
         seed: int = 0,
     ):
         if n_shards < 1:
@@ -783,6 +847,12 @@ class ShardedSimilarityServer:
         self._rr = itertools.count()
         self._closed = False
         self._close_lock = new_lock("serve.shard.close")
+        # Fleet telemetry: every Prometheus scrape re-pulls the worker
+        # registries (TTL-throttled) instead of waiting for stats().
+        self.stats_ttl_s = stats_ttl_s
+        self._stats_refreshed_at: Optional[float] = None
+        self._stats_lock = new_lock("serve.shard.statsttl")
+        register_scrape_hook(self._refresh_on_scrape)
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -982,8 +1052,12 @@ class ShardedSimilarityServer:
                 registry.counter("serve.shard.encode_retries").inc()
             with trace.span("encode") as enc_span:
                 enc_span.set(shard=handle.idx, attempt=attempt)
+                ctx = trace.context()
+                wire_ctx = ctx.to_wire() if ctx is not None else None
                 try:
-                    future = handle.send_payload({"cmd": "encode"}, points)
+                    future = handle.send_payload(
+                        {"cmd": "encode", "trace_ctx": wire_ctx}, points
+                    )
                     resp = future.result(timeout=remaining)
                 except FutureTimeoutError:
                     registry.counter("serve.query.deadline_missed").inc()
@@ -1001,10 +1075,21 @@ class ShardedSimilarityServer:
                     continue
                 if "error" in resp:
                     enc_span.set(result="error", error=resp["error"])
+                    self._graft(trace, enc_span.span_id, resp, ctx, handle.idx)
                     continue
                 enc_span.set(result="ok", worker_s=resp.get("worker_s", 0.0))
+                self._graft(trace, enc_span.span_id, resp, ctx, handle.idx)
                 return np.asarray(resp["embedding"], dtype=np.float64)
         return None
+
+    @staticmethod
+    def _graft(trace, span_id, resp: dict, ctx: Optional[TraceContext], shard: int) -> None:
+        """Stitch a worker-returned span subtree under one local span."""
+        if ctx is not None and "trace" in resp:
+            graft_subtree(
+                trace, span_id, resp["trace"],
+                clock_offset=ctx.clock_offset, shard=shard,
+            )
 
     def _scatter_gather(
         self, embedding: np.ndarray, k: int, start: float, cache_hit: bool, trace
@@ -1024,67 +1109,114 @@ class ShardedSimilarityServer:
                 k=k,
             )
         k_eff = min(k, n_total)
+        ctx = trace.context()
+        wire_ctx = ctx.to_wire() if ctx is not None else None
         gather_deadline = time.perf_counter() + self.shard_deadline_s
-        pending: List[Tuple[_ShardHandle, Future]] = []
+        pending: List[Tuple[_ShardHandle, Future, float]] = []
         fallback: List[Tuple[int, str]] = []
-        for handle in self._handles:
-            if handle.dead:
-                fallback.append((handle.idx, "dead"))
-                continue
-            try:
-                future = handle.send_payload({"cmd": "search", "k": k_eff}, embedding)
-            except Exception as exc:
-                _LOG.warning(
-                    "shard-send-failed", shard=handle.idx, error=type(exc).__name__
-                )
-                fallback.append((handle.idx, f"send-failed:{type(exc).__name__}"))
-                continue
-            pending.append((handle, future))
-        parts: List[Tuple[np.ndarray, np.ndarray]] = []
-        for handle, future in pending:
-            remaining = gather_deadline - time.perf_counter()
-            with trace.span(f"shard-{handle.idx}") as shard_span:
-                try:
-                    resp = future.result(timeout=max(remaining, 0.0))
-                except FutureTimeoutError:
-                    if not handle.process.is_alive():
-                        handle.mark_dead("died-mid-query")
-                        shard_span.set(result="dead")
-                        fallback.append((handle.idx, "dead"))
-                    else:
-                        registry.counter("serve.shard.deadline_missed").inc()
-                        shard_span.set(result="deadline")
-                        fallback.append((handle.idx, "deadline"))
+        with trace.span("dispatch") as dispatch_span:
+            for handle in self._handles:
+                if handle.dead:
+                    fallback.append((handle.idx, "dead"))
                     continue
+                try:
+                    future = handle.send_payload(
+                        {"cmd": "search", "k": k_eff, "trace_ctx": wire_ctx},
+                        embedding,
+                    )
                 except Exception as exc:
                     _LOG.warning(
-                        "shard-gather-error",
-                        shard=handle.idx,
-                        error=type(exc).__name__,
+                        "shard-send-failed", shard=handle.idx, error=type(exc).__name__
                     )
-                    shard_span.set(result="error", error=type(exc).__name__)
-                    fallback.append((handle.idx, type(exc).__name__))
+                    fallback.append((handle.idx, f"send-failed:{type(exc).__name__}"))
                     continue
-                if "error" in resp:
-                    shard_span.set(result="error", error=resp["error"])
-                    fallback.append((handle.idx, "worker-error"))
-                    continue
-                # Cross-process trace handoff: the worker's own timings
-                # (queue wait + search) stamped onto this request's span.
-                shard_span.set(
-                    result="ok", n=resp.get("n", 0),
-                    search_s=resp.get("search_s", 0.0),
-                    wait_s=resp.get("wait_s", 0.0),
+                pending.append((handle, future, time.perf_counter()))
+            dispatch_span.set(shards=len(pending))
+        parts: List[Tuple[np.ndarray, np.ndarray]] = []
+        # Per-shard coordinator-side wait, for straggler attribution.
+        shard_waits: List[Tuple[int, float]] = []
+        for handle, future, sent in pending:
+            remaining = gather_deadline - time.perf_counter()
+            try:
+                resp = future.result(timeout=max(remaining, 0.0))
+            except FutureTimeoutError:
+                now = time.perf_counter()
+                shard_waits.append((handle.idx, now - sent))
+                if not handle.process.is_alive():
+                    handle.mark_dead("died-mid-query")
+                    trace.record_span(
+                        f"shard-{handle.idx}", sent, now, result="dead", dead=True
+                    )
+                    fallback.append((handle.idx, "dead"))
+                else:
+                    registry.counter("serve.shard.deadline_missed").inc()
+                    trace.record_span(
+                        f"shard-{handle.idx}", sent, now,
+                        result="deadline", deadline=True,
+                    )
+                    fallback.append((handle.idx, "deadline"))
+                continue
+            except ShardDeadError:
+                # The reaper failed the pending future: the worker died
+                # with our request in flight.
+                now = time.perf_counter()
+                shard_waits.append((handle.idx, now - sent))
+                trace.record_span(
+                    f"shard-{handle.idx}", sent, now, result="dead", dead=True
                 )
-                parts.append((resp["dists"], resp["gids"]))
+                fallback.append((handle.idx, "dead"))
+                continue
+            except Exception as exc:
+                _LOG.warning(
+                    "shard-gather-error",
+                    shard=handle.idx,
+                    error=type(exc).__name__,
+                )
+                now = time.perf_counter()
+                shard_waits.append((handle.idx, now - sent))
+                trace.record_span(
+                    f"shard-{handle.idx}", sent, now,
+                    result="error", error=type(exc).__name__,
+                )
+                fallback.append((handle.idx, type(exc).__name__))
+                continue
+            now = time.perf_counter()
+            shard_waits.append((handle.idx, now - sent))
+            if "error" in resp:
+                span_id = trace.record_span(
+                    f"shard-{handle.idx}", sent, now,
+                    result="error", error=resp["error"],
+                )
+                self._graft(trace, span_id, resp, ctx, handle.idx)
+                fallback.append((handle.idx, "worker-error"))
+                continue
+            # Cross-process stitch: the shard span covers dispatch to
+            # gather on the coordinator clock; the worker's subtree
+            # (ipc-wait / slab-read / search) is grafted beneath it.
+            span_id = trace.record_span(
+                f"shard-{handle.idx}", sent, now,
+                result="ok", n=resp.get("n", 0),
+                search_s=resp.get("search_s", 0.0),
+                wait_s=resp.get("wait_s", 0.0),
+            )
+            self._graft(trace, span_id, resp, ctx, handle.idx)
+            parts.append((resp["dists"], resp["gids"]))
+        if shard_waits:
+            waits = np.asarray([w for _, w in shard_waits], dtype=float)
+            trace.set(
+                straggler_gap_s=float(waits.max() - np.median(waits)),
+                slowest_shard=int(shard_waits[int(np.argmax(waits))][0]),
+            )
         for shard_idx, reason in fallback:
             with trace.span(f"fallback-{shard_idx}") as fb_span:
                 fb_span.set(reason=reason)
                 parts.append(self._fallback_shard_topk(shard_idx, embedding, k_eff))
             registry.counter("serve.shard.fallback_scans").inc()
-        sq, gids = merge_topk(parts, k_eff)
-        # Squared L2 values are nonnegative by construction.
-        dists = np.sqrt(sq)  # lint: allow(N002)
+        with trace.span("merge") as merge_span:
+            sq, gids = merge_topk(parts, k_eff)
+            # Squared L2 values are nonnegative by construction.
+            dists = np.sqrt(sq)  # lint: allow(N002)
+            merge_span.set(parts=len(parts))
         degraded = bool(fallback)
         if degraded:
             registry.counter("serve.query.degraded").inc()
@@ -1225,7 +1357,40 @@ class ShardedSimilarityServer:
                 "size": resp.get("size", 0),
                 "index_bytes": resp.get("index_bytes", 0),
             }
+        with self._stats_lock:
+            self._stats_refreshed_at = time.perf_counter()
         return out
+
+    def _refresh_on_scrape(self) -> None:
+        """Exposition scrape hook: keep ``serve.shard.N.*`` mirrors fresh."""
+        self.refresh_shard_telemetry()
+
+    def refresh_shard_telemetry(
+        self, ttl_s: Optional[float] = None, timeout_s: float = 0.5
+    ) -> bool:
+        """Re-pull worker registry snapshots when the mirror has gone stale.
+
+        Registered as a Prometheus scrape hook at construction, so the
+        ``serve.shard.N.*`` gauges track live workers on every scrape
+        instead of only moving when someone calls :meth:`shard_stats`.
+        The TTL (``stats_ttl_s`` unless overridden) bounds scrape cost
+        to at most one cheap per-worker probe per TTL window.  Returns
+        True when a refresh actually ran.
+        """
+        with self._close_lock:
+            if self._closed:
+                return False
+        ttl = self.stats_ttl_s if ttl_s is None else ttl_s
+        now = time.perf_counter()
+        with self._stats_lock:
+            last = self._stats_refreshed_at
+            if last is not None and now - last < ttl:
+                return False
+            # Claim the window before probing so concurrent scrapes
+            # cannot stampede the workers with duplicate stats probes.
+            self._stats_refreshed_at = now
+        self.shard_stats(timeout_s=timeout_s)
+        return True
 
     def dump_shard(self, shard: int, timeout_s: float = 60.0) -> dict:
         """One shard's index state and gid map (for in-process rebuilds)."""
@@ -1318,6 +1483,7 @@ class ShardedSimilarityServer:
             if self._closed:
                 return
             self._closed = True
+        unregister_scrape_hook(self._refresh_on_scrape)
         for handle in self._handles:
             try:
                 handle.stop()
